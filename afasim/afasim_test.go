@@ -1,0 +1,49 @@
+package afasim_test
+
+import (
+	"testing"
+
+	"repro/afasim"
+)
+
+// TestPublicSurfaceEndToEnd drives the library exactly as the package doc
+// advertises, entirely through the facade.
+func TestPublicSurfaceEndToEnd(t *testing.T) {
+	sys := afasim.NewSystem(afasim.Options{
+		NumSSDs: 4,
+		Seed:    1,
+		Config:  afasim.IRQAffinity(),
+	})
+	results := sys.RunFIO(afasim.RunSpec{Runtime: 100 * afasim.Millisecond})
+	dist := afasim.NewDistribution(sys.Config.Name, results)
+	if dist.Summary.N != 4 {
+		t.Fatalf("summarized %d SSDs", dist.Summary.N)
+	}
+	if avg := dist.Summary.Mean[0]; avg < 25e3 || avg > 80e3 {
+		t.Fatalf("avg = %.0fns, outside any plausible envelope", avg)
+	}
+}
+
+func TestTuningLadderExported(t *testing.T) {
+	names := []string{}
+	for _, cfg := range []afasim.Config{
+		afasim.Default(), afasim.CHRT(), afasim.Isolcpus(),
+		afasim.IRQAffinity(), afasim.ExpFirmware(),
+		afasim.FutureSched(), afasim.FutureIRQ(), afasim.FutureBoth(),
+	} {
+		names = append(names, cfg.Name)
+	}
+	want := []string{"default", "chrt", "isolcpus", "irq", "expfw",
+		"auto-sched", "affine-irq", "auto-both"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("config %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestTableIIExported(t *testing.T) {
+	if rows := afasim.TableII(); len(rows) != 4 {
+		t.Fatalf("TableII rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,255 @@
+// Command afareport regenerates the paper's figures and tables as text
+// reports from the simulated all-flash-array testbed.
+//
+// Usage:
+//
+//	afareport -fig 6          # latency distributions, default config (Fig 6)
+//	afareport -fig 7..9,11    # the other single-config figures
+//	afareport -fig 10         # SMART spike scatter summary
+//	afareport -fig 12         # four-config comparison
+//	afareport -fig 13         # CPU:SSD balance study (also covers Fig 14)
+//	afareport -table 1        # Table I (device spec)
+//	afareport -table 2        # Table II (setup matrix)
+//	afareport -headline       # the abstract's ×8 / ×400 claim
+//	afareport -ablate fw      # firmware variants (standard/nosmart/incremental)
+//	afareport -ablate poll    # interrupt vs polling completion
+//	afareport -ablate used    # FOB vs used (non-FOB) state, the future-work study
+//	afareport -ablate future  # §VI prototypes: auto-isolating scheduler, affine balancer
+//	afareport -ablate coalesce# NVMe interrupt coalescing vs the interrupt storm
+//	afareport -all            # everything
+//
+// -runtime scales fidelity: the default 2 s is quick; pass 120s for the
+// paper's full-length runs (no time compression of rare events).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure number to regenerate (6-14)")
+		table    = flag.Int("table", 0, "table number to regenerate (1 or 2)")
+		headline = flag.Bool("headline", false, "check the abstract's ×8/×400 claim")
+		ablate   = flag.String("ablate", "", "ablation: fw | poll | used")
+		all      = flag.Bool("all", false, "regenerate everything")
+		runtime  = flag.Duration("runtime", 2*time.Second, "simulated runtime per FIO instance (paper: 120s)")
+		seed     = flag.Uint64("seed", 2018, "experiment seed")
+		ssds     = flag.Int("ssds", 64, "number of SSDs")
+		solo     = flag.Int("solo-runs", 8, "runs merged for the Fig 13(d) single-thread row (paper: 64)")
+		format   = flag.String("format", "text", "output format for figure data: text | json | csv")
+	)
+	flag.Parse()
+
+	o := core.ExpOptions{
+		Runtime:  sim.Duration(runtime.Nanoseconds()),
+		Seed:     *seed,
+		NumSSDs:  *ssds,
+		SoloRuns: *solo,
+	}
+	outputFormat = *format
+
+	ran := false
+	if *all {
+		for _, f := range []int{6, 7, 8, 9, 10, 11, 12, 13} {
+			runFigure(f, o)
+		}
+		runTable(1)
+		runTable(2)
+		runHeadline(o)
+		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts"} {
+			runAblation(a, o)
+		}
+		return
+	}
+	if *fig != "" {
+		for _, part := range strings.Split(*fig, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad figure %q\n", part)
+				os.Exit(2)
+			}
+			runFigure(n, o)
+		}
+		ran = true
+	}
+	if *table != 0 {
+		runTable(*table)
+		ran = true
+	}
+	if *headline {
+		runHeadline(o)
+		ran = true
+	}
+	if *ablate != "" {
+		runAblation(*ablate, o)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// outputFormat selects text/json/csv rendering for figure data.
+var outputFormat = "text"
+
+// emitDistribution renders one figure's distribution in the chosen format.
+func emitDistribution(d core.Distribution) {
+	switch outputFormat {
+	case "json":
+		if err := core.WriteDistributionJSON(os.Stdout, d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "csv":
+		if err := core.WriteDistributionCSV(os.Stdout, d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		core.WriteDistributionTable(os.Stdout, d)
+	}
+}
+
+func banner(format string, args ...any) {
+	fmt.Printf("\n=== "+format+" ===\n", args...)
+}
+
+func runFigure(n int, o core.ExpOptions) {
+	t0 := time.Now()
+	switch n {
+	case 6:
+		banner("Fig 6: latency distributions, default configuration")
+		emitDistribution(core.RunFig6(o))
+	case 7:
+		banner("Fig 7: + FIO at SCHED_FIFO 99 (chrt)")
+		emitDistribution(core.RunFig7(o))
+	case 8:
+		banner("Fig 8: + CPU isolation boot options")
+		emitDistribution(core.RunFig8(o))
+	case 9:
+		banner("Fig 9: + IRQ affinity pinned (identical setup to Fig 13(a))")
+		emitDistribution(core.RunFig9(o))
+	case 10:
+		banner("Fig 10: latency scatter, 32 SSDs, periodic SMART spikes")
+		r := core.RunFig10(o)
+		if outputFormat == "csv" {
+			if err := core.WriteFig10CSV(os.Stdout, r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			core.WriteFig10Summary(os.Stdout, r)
+		}
+	case 11:
+		banner("Fig 11: experimental firmware (SMART disabled)")
+		emitDistribution(core.RunFig11(o))
+	case 12:
+		banner("Fig 12: comparison of four system configurations")
+		core.WriteComparisonTable(os.Stdout, core.RunFig12(o))
+	case 13, 14:
+		banner("Fig 13/14: latency vs number of SSDs per physical CPU core")
+		results := core.RunFig13(o)
+		var ds []core.Distribution
+		for _, r := range results {
+			ds = append(ds, r.Dist)
+		}
+		core.WriteComparisonTable(os.Stdout, ds)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (have 6-14)\n", n)
+		os.Exit(2)
+	}
+	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func runTable(n int) {
+	switch n {
+	case 1:
+		banner("Table I: NVMe SSD specification")
+		s := nvme.SpecTableI()
+		fmt.Printf("%-30s %s\n", "Host Interface", s.HostInterface)
+		fmt.Printf("%-30s %d\n", "Capacity (GB)", s.CapacityGB)
+		fmt.Printf("%-30s %d / %d\n", "Random Read/Write (IOPS)", s.RandReadIOPS, s.RandWriteIOPS)
+		fmt.Printf("%-30s %d / %d\n", "Sequential Read/Write (MB/s)", s.SeqReadMBps, s.SeqWriteMBps)
+		fmt.Printf("%-30s %s\n", "NAND Type", s.NANDType)
+	case 2:
+		banner("Table II: varying number of SSDs / CPU core")
+		core.WriteTableII(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d (have 1 and 2)\n", n)
+		os.Exit(2)
+	}
+}
+
+func runHeadline(o core.ExpOptions) {
+	banner("Headline: mean/σ of max latency, default vs tuned kernel")
+	t0 := time.Now()
+	core.WriteHeadline(os.Stdout, core.RunHeadline(o))
+	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func runAblation(kind string, o core.ExpOptions) {
+	t0 := time.Now()
+	switch kind {
+	case "fw":
+		banner("Ablation: firmware housekeeping variants (tuned kernel)")
+		core.WriteComparisonTable(os.Stdout, core.RunFirmwareAblation(o))
+	case "poll":
+		banner("Ablation: interrupt vs polling completion (tuned kernel)")
+		intr, poll := core.RunPollingAblation(o)
+		core.WriteComparisonTable(os.Stdout, []core.Distribution{intr, poll})
+	case "used":
+		banner("Extension: FOB vs used (non-FOB) state, random writes")
+		fob, used := core.RunUsedStateStudy(o, 0.9)
+		core.WriteComparisonTable(os.Stdout, []core.Distribution{fob, used})
+	case "future":
+		banner("Section VI prototypes: how much manual tuning do better algorithms recover?")
+		core.WriteComparisonTable(os.Stdout, core.RunFutureWorkAblation(o))
+	case "tail":
+		banner("Section I motivation: striped-client tail amplification vs stripe width")
+		for _, cfg := range []core.Config{core.Default(), core.ExpFirmware()} {
+			widths := []int{1, 4, 16}
+			if o.NumSSDs >= 32 {
+				widths = append(widths, 32)
+			}
+			fmt.Printf("-- %s --\n", cfg.Name)
+			for _, r := range core.RunTailAtScale(cfg, widths, o) {
+				fmt.Printf("width %2d: avg %8.1fµs  p99 %8.1fµs  max %8.1fµs  (p99 ×%.2f a single SSD)\n",
+					r.Width, r.Client.Avg/1e3, float64(r.Client.P[0])/1e3,
+					float64(r.Client.Max)/1e3, r.Amplification)
+			}
+		}
+	case "pts":
+		banner("SNIA PTS-E latency test: purge → rounds → steady state")
+		rep := core.RunPTSLatencyTest(core.ExpFirmware(), o, 200*sim.Millisecond, 25)
+		for i, r := range rep.Rounds {
+			fmt.Printf("round %2d: fleet avg %.2fµs\n", i+1, r.AvgLatencyNs/1e3)
+		}
+		if rep.Result.Steady {
+			fmt.Printf("steady state at round %d (excursion %.1f%%, slope %.1f%%)\n",
+				rep.Result.SteadyAt, rep.Result.Excursion*100, rep.Result.Slope*100)
+		} else {
+			fmt.Println("steady state NOT reached")
+		}
+	case "coalesce":
+		banner("Extension: NVMe interrupt coalescing (QD8)")
+		off, on := core.RunCoalescingAblation(o)
+		core.WriteComparisonTable(os.Stdout, []core.Distribution{off.Dist, on.Dist})
+		fmt.Printf("interrupts/IO: %.2f → %.2f\n",
+			float64(off.Interrupts)/float64(off.IOs), float64(on.Interrupts)/float64(on.IOs))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts)\n", kind)
+		os.Exit(2)
+	}
+	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,44 @@
+// Firmware studies the housekeeping findings of Section IV-E and the
+// improved-protocol proposal of Section V: the stock SMART firmware's
+// periodic ~550 µs media stalls put a hard floor under tail latency; the
+// experimental build removes them entirely; the incremental protocol keeps
+// SMART alive while bounding each stall to microseconds.
+//
+// With -used it also runs the paper's stated future work: write latency in
+// a used (non-FOB) device state where garbage collection runs in the
+// foreground.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	used := flag.Bool("used", false, "also run the used-state (non-FOB) GC study")
+	flag.Parse()
+
+	o := core.ExpOptions{Runtime: sim.Second, Seed: 9, NumSSDs: 16}
+
+	fmt.Println("== Firmware housekeeping variants under the tuned kernel ==")
+	ds := core.RunFirmwareAblation(o)
+	core.WriteComparisonTable(os.Stdout, ds)
+
+	std, none, incr := ds[0].Summary, ds[1].Summary, ds[2].Summary
+	fmt.Printf("\nworst case: standard %.0fµs → nosmart %.0fµs (paper: ≈600 → ≈90µs)\n",
+		std.Mean[6]/1e3, none.Mean[6]/1e3)
+	fmt.Printf("incremental protocol keeps SMART and still reaches %.0fµs — the\n"+
+		"Section V 'better housekeeping protocol' in one number.\n", incr.Mean[6]/1e3)
+
+	if *used {
+		fmt.Println("\n== Future work: used (non-FOB) state, random writes ==")
+		fob, usedDist := core.RunUsedStateStudy(o, 0.9)
+		core.WriteComparisonTable(os.Stdout, []core.Distribution{fob, usedDist})
+		fmt.Printf("\nGC in the used state pushes the worst case from %.0fµs to %.0fµs.\n",
+			fob.Summary.Mean[6]/1e3, usedDist.Summary.Mean[6]/1e3)
+	}
+}

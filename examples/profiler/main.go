@@ -1,0 +1,76 @@
+// Profiler demonstrates the deployment the paper proposes in Sections I
+// and VI: with a whole array profiled in parallel, one host characterizes
+// 64 SSDs in the time a single-drive testbed characterizes one — "x10 or
+// even x100 faster" — making it practical to catch latency regressions in
+// daily firmware builds.
+//
+// The demo injects two faults into the fleet — one drive with slow NAND
+// (a bad bin) and one whose firmware runs SMART housekeeping far too
+// often — then profiles all drives concurrently and flags the outliers.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+const (
+	slowDrive  = 13 // NAND reads 35% slower than spec
+	noisyDrive = 42 // SMART housekeeping every 100 ms instead of 55 s
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{NumSSDs: 64, Seed: 77, Config: core.ExpFirmware()})
+
+	// Inject the faults before the run.
+	sys.SSDs[slowDrive].Flash.Timing.ReadPage =
+		sim.Duration(float64(sys.SSDs[slowDrive].Flash.Timing.ReadPage) * 1.35)
+	fw := nvme.DefaultFirmware()
+	fw.SMARTPeriod = 100 * sim.Millisecond
+	sys.SSDs[noisyDrive].SetFirmware(fw)
+
+	// One parallel profiling pass over the whole fleet, with the
+	// blktrace-style phase decomposition enabled so outliers can be
+	// attributed, not just flagged.
+	results := sys.RunFIO(core.RunSpec{Runtime: 500 * sim.Millisecond, Phases: true})
+
+	// Fleet statistics for outlier detection: media-phase time isolates
+	// the NAND from host-side noise.
+	var media, max stats.Welford
+	for _, r := range results {
+		media.Add(r.Phases.Mean(fio.PhaseMedia))
+		max.Add(float64(r.Ladder.Max))
+	}
+	fmt.Printf("fleet: %d drives, media %.1fµs ±%.2f, max %.1fµs ±%.1f\n\n",
+		len(results), media.Mean()/1e3, media.Std()/1e3, max.Mean()/1e3, max.Std()/1e3)
+
+	fmt.Println("outliers (≥4σ from the fleet):")
+	found := 0
+	for ssd, r := range results {
+		zMedia := (r.Phases.Mean(fio.PhaseMedia) - media.Mean()) / media.Std()
+		zMax := (float64(r.Ladder.Max) - max.Mean()) / max.Std()
+		switch {
+		case zMedia > 4:
+			fmt.Printf("  nvme%-2d  media %.1fµs (%.0fσ above fleet) → slow NAND (bad bin?)\n",
+				ssd, r.Phases.Mean(fio.PhaseMedia)/1e3, zMedia)
+			found++
+		case zMax > 4:
+			fmt.Printf("  nvme%-2d  max %.1fµs (%.0fσ above fleet), %d I/Os hit housekeeping → firmware regression\n",
+				ssd, float64(r.Ladder.Max)/1e3, zMax, r.SMARTBlocked)
+			found++
+		}
+	}
+	if found == 0 {
+		fmt.Println("  none")
+	}
+
+	fmt.Printf("\nprofiled 64 drives in %.1fs of array time; a serial single-drive\n"+
+		"testbed needs %.0fs for the same coverage — a ×%d speedup, the paper's\n"+
+		"Section VI deployment.\n",
+		0.5, 0.5*64, 64)
+}

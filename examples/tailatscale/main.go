@@ -1,0 +1,34 @@
+// Tailatscale makes the paper's opening argument quantitative: "even if
+// one SSD out of many, say 128 SSDs, shows long tail latency, the entire
+// I/O from the client is delayed by the same amount" (Section I). A
+// striped client request completes when its slowest sub-I/O does, so the
+// per-SSD tail compounds with stripe width — and the wider the array, the
+// more the paper's kernel tuning matters.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	o := core.ExpOptions{Runtime: 500 * sim.Millisecond, Seed: 21, NumSSDs: 32}
+	widths := []int{1, 4, 16, 32}
+
+	for _, cfg := range []core.Config{core.Default(), core.ExpFirmware()} {
+		fmt.Printf("== %s configuration ==\n", cfg.Name)
+		results := core.RunTailAtScale(cfg, widths, o)
+		fmt.Printf("%-8s %12s %12s %12s %14s\n", "width", "avg(µs)", "p99(µs)", "max(µs)", "p99 vs 1 SSD")
+		for _, r := range results {
+			fmt.Printf("%-8d %12.1f %12.1f %12.1f %13.2fx\n",
+				r.Width, r.Client.Avg/1e3, float64(r.Client.P[0])/1e3,
+				float64(r.Client.Max)/1e3, r.Amplification)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("the default kernel's per-SSD stragglers compound with width;")
+	fmt.Println("the tuned stack keeps the client tail flat — the paper's core claim.")
+}

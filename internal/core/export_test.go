@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func sampleDistribution(t *testing.T) Distribution {
+	t.Helper()
+	o := testOpts()
+	o.Runtime = 100 * sim.Millisecond
+	o.NumSSDs = 4
+	return RunLatencyDistribution(ExpFirmware(), o)
+}
+
+func TestDistributionJSONRoundTrip(t *testing.T) {
+	d := sampleDistribution(t)
+	var buf bytes.Buffer
+	if err := WriteDistributionJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDistributionJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != d.Config || len(got.Ladders) != len(d.Ladders) {
+		t.Fatalf("round trip lost shape: %s/%d", got.Config, len(got.Ladders))
+	}
+	for r := 0; r < stats.NumRungs; r++ {
+		if math.Abs(got.Summary.Mean[r]-d.Summary.Mean[r]) > 1 {
+			t.Fatalf("rung %d mean %.1f != %.1f", r, got.Summary.Mean[r], d.Summary.Mean[r])
+		}
+	}
+}
+
+func TestDistributionsJSONArray(t *testing.T) {
+	d := sampleDistribution(t)
+	var buf bytes.Buffer
+	if err := WriteDistributionsJSON(&buf, []Distribution{d, d}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(strings.TrimSpace(s), "[") || strings.Count(s, `"config"`) != 2 {
+		t.Fatalf("bad array JSON:\n%s", s[:200])
+	}
+}
+
+func TestDistributionCSV(t *testing.T) {
+	d := sampleDistribution(t)
+	var buf bytes.Buffer
+	if err := WriteDistributionCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(d.Ladders) {
+		t.Fatalf("csv rows = %d, want header+%d", len(lines), len(d.Ladders))
+	}
+	if !strings.HasPrefix(lines[0], "ssd,avg,99%") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ",") + 1; cols != 1+stats.NumRungs {
+		t.Fatalf("data columns = %d", cols)
+	}
+}
+
+func TestFig10CSV(t *testing.T) {
+	r := Fig10Result{Logs: [][]stats.Sample{
+		{{At: 10, Latency: 30000}},
+		{{At: 20, Latency: 31000}, {At: 50, Latency: 580000}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig10CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if lines[0] != "ssd,at_ns,latency_ns" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[3] != "1,50,580000" {
+		t.Fatalf("last row = %q", lines[3])
+	}
+}
+
+func TestReadDistributionJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadDistributionJSON(strings.NewReader(`{"mean_ns":[1,2]}`)); err == nil {
+		t.Fatal("short rung vector accepted")
+	}
+	if _, err := ReadDistributionJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

@@ -1,0 +1,353 @@
+// Package fio is the workload generator of the methodology section: jobs
+// modeled on the FIO tool, with the features the paper relies on — raw
+// block device access, thread pinning (cpus_allowed), queue-depth control,
+// completion-latency percentile collection identical to fio's output
+// (2-nines through 6-nines plus the maximum), and per-I/O latency logging
+// (write_lat_log), including the measurement perturbation the paper's
+// footnote 1 reports when logging is enabled on too many devices at once.
+package fio
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/nvme"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RW is the workload pattern.
+type RW string
+
+// Supported patterns.
+const (
+	RandRead  RW = "randread"
+	RandWrite RW = "randwrite"
+	SeqRead   RW = "read"
+)
+
+// JobSpec describes one FIO job: a single workload thread bound to one raw
+// NVMe block device.
+type JobSpec struct {
+	Name string
+	SSD  int // target device (/dev/nvmeN)
+	RW   RW
+	// BS is the block size in bytes (the paper uses 4 KiB).
+	BS int
+	// IODepth is the queue depth per thread (the paper uses 1).
+	IODepth int
+	// Runtime is how long the job issues I/O.
+	Runtime sim.Duration
+	// CPUsAllowed pins the thread (fio's cpus_allowed).
+	CPUsAllowed []int
+	// Class/RTPrio set the scheduling class (chrt). Default CFS nice 0.
+	Class  sched.Class
+	RTPrio int
+	// LatLog enables per-I/O latency logging (write_lat_log) with the
+	// associated per-sample overhead.
+	LatLog bool
+	// LatLogLimit caps retained samples (0 = unlimited).
+	LatLogLimit int
+	// ThinkTime inserts a delay between I/Os (0 = closed loop).
+	ThinkTime sim.Duration
+	// Phases enables per-I/O latency decomposition (blktrace-style; see
+	// PhaseReport).
+	Phases bool
+	Seed   uint64
+}
+
+// withDefaults fills zero fields.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.BS == 0 {
+		s.BS = 4096
+	}
+	if s.IODepth == 0 {
+		s.IODepth = 1
+	}
+	if s.Runtime == 0 {
+		s.Runtime = 2 * sim.Second
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("job-nvme%d", s.SSD)
+	}
+	return s
+}
+
+// Result is one job's output.
+type Result struct {
+	Spec   JobSpec
+	Hist   *stats.Histogram
+	Ladder stats.Ladder
+	Log    *stats.LatLog
+	IOs    int64
+	// SMARTBlocked counts I/Os that waited on a firmware housekeeping
+	// window.
+	SMARTBlocked int64
+	// RemoteIRQs counts completions delivered on a CPU other than the
+	// submitting one.
+	RemoteIRQs int64
+	// Phases holds the per-phase latency decomposition when
+	// JobSpec.Phases is set.
+	Phases  *PhaseReport
+	Runtime sim.Duration
+}
+
+// IOPS reports the job's achieved I/O rate.
+func (r *Result) IOPS() float64 {
+	if r.Runtime == 0 {
+		return 0
+	}
+	return float64(r.IOs) / r.Runtime.Seconds()
+}
+
+// Report renders a compact fio-style completion latency report.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: (groupid=0): rw=%s, bs=%d, iodepth=%d\n",
+		r.Spec.Name, r.Spec.RW, r.Spec.BS, r.Spec.IODepth)
+	fmt.Fprintf(&b, "  read: IOPS=%.0f, ios=%d\n", r.IOPS(), r.IOs)
+	fmt.Fprintf(&b, "  clat (usec): avg=%.2f\n", r.Ladder.Avg/1e3)
+	fmt.Fprintf(&b, "  clat percentiles (usec):\n")
+	for i, q := range stats.LadderNines {
+		fmt.Fprintf(&b, "   | %8.4f%%  %10.1f\n", q*100, float64(r.Ladder.P[i])/1e3)
+	}
+	fmt.Fprintf(&b, "   | %8s%%  %10.1f (max)\n", "100.0000", float64(r.Ladder.Max)/1e3)
+	return b.String()
+}
+
+// Job is a running FIO thread.
+type Job struct {
+	spec JobSpec
+	k    *kernel.Kernel
+	eng  *sim.Engine
+	task *sched.Task
+	rnd  *rng.Stream
+
+	res       Result
+	start     sim.Time
+	deadline  sim.Time
+	inflight  int
+	nextSeq   int64
+	logicalSz int64
+	done      bool
+	onDone    func(*Result)
+
+	// per-I/O bookkeeping for the completion burst
+	pending []kernel.Completion
+}
+
+// New creates a job (thread is created sleeping; Start launches it).
+func New(eng *sim.Engine, k *kernel.Kernel, spec JobSpec) *Job {
+	spec = spec.withDefaults()
+	j := &Job{
+		spec: spec,
+		k:    k,
+		eng:  eng,
+		rnd:  rng.NewLabeled(spec.Seed, "fio-"+spec.Name),
+	}
+	j.res.Spec = spec
+	j.res.Hist = stats.NewHistogram()
+	if spec.LatLog {
+		j.res.Log = stats.NewLatLog(spec.LatLogLimit)
+	}
+	if spec.Phases {
+		j.res.Phases = &PhaseReport{}
+	}
+	j.logicalSz = k.SSDs[spec.SSD].Flash.LogicalSlices()
+	prio := spec.RTPrio
+	if spec.Class == sched.ClassCFS {
+		prio = 0
+	}
+	j.task = k.Sched.NewTask("fio/"+spec.Name, spec.Class, prio, spec.CPUsAllowed)
+	return j
+}
+
+// Task exposes the underlying thread (for tracing).
+func (j *Job) Task() *sched.Task { return j.task }
+
+// Start begins issuing I/O; onDone fires once the runtime elapses and the
+// last inflight I/O drains. Thread startup is staggered by a small random
+// ramp, as real fio thread creation is — synchronized starts would
+// phase-lock the QD1 streams.
+func (j *Job) Start(onDone func(*Result)) {
+	j.onDone = onDone
+	ramp := sim.Duration(j.rnd.Int63n(int64(200 * sim.Microsecond)))
+	j.eng.After(ramp, func() {
+		j.start = j.eng.Now()
+		j.deadline = j.start.Add(j.spec.Runtime)
+		// First burst: submit the initial window.
+		j.task.Exec(j.submitCost(j.spec.IODepth), func() { j.submitWindow() })
+		j.k.Sched.Wake(j.task)
+	})
+}
+
+func (j *Job) submitCost(n int) sim.Duration {
+	return sim.Duration(n) * j.k.Costs().Submit
+}
+
+// nextLBA picks the next target block.
+func (j *Job) nextLBA() int64 {
+	slices := int64(j.spec.BS / 4096)
+	if slices < 1 {
+		slices = 1
+	}
+	max := j.logicalSz / slices
+	if j.spec.RW == SeqRead {
+		lba := (j.nextSeq % max) * slices
+		j.nextSeq++
+		return lba
+	}
+	return j.rnd.Int63n(max) * slices
+}
+
+func (j *Job) opcode() nvme.Opcode {
+	if j.spec.RW == RandWrite {
+		return nvme.OpWrite
+	}
+	return nvme.OpRead
+}
+
+// submitWindow issues I/Os until the depth is full (called in thread
+// context right after a submit burst completed).
+func (j *Job) submitWindow() {
+	now := j.eng.Now()
+	if now >= j.deadline {
+		j.finishIfDrained()
+		return
+	}
+	for j.inflight < j.spec.IODepth {
+		j.inflight++
+		cmd := nvme.Command{Op: j.opcode(), LBA: j.nextLBA(), Bytes: j.spec.BS}
+		j.k.SubmitIO(j.task.CPU(), j.spec.SSD, cmd, j.onComplete)
+	}
+	if j.k.Mode() == kernel.CompletePolling {
+		// Spin on the CQ instead of sleeping: the latency win and the CPU
+		// burn of polling both fall out of this loop.
+		j.task.Exec(j.k.Costs().PollCheck, j.pollSpin)
+		return
+	}
+	// Completions may have raced in while this thread was submitting
+	// (QD > 1); reap them now rather than sleeping.
+	if len(j.pending) > 0 {
+		j.task.Exec(j.reapCost(len(j.pending)), j.reap)
+	}
+	// Otherwise no further Exec: the thread sleeps until a wake.
+}
+
+// reapCost is the thread-side cost of reaping n completions and submitting
+// their replacements.
+func (j *Job) reapCost(n int) sim.Duration {
+	cost := sim.Duration(n) * (j.k.Costs().Complete + j.k.Costs().Submit)
+	if j.spec.LatLog {
+		cost += sim.Duration(n) * j.k.Costs().LatLogRecord
+	}
+	return cost
+}
+
+// pollSpin is one CQ poll iteration in polling mode.
+func (j *Job) pollSpin() {
+	if len(j.pending) > 0 {
+		j.task.Exec(sim.Duration(len(j.pending))*j.k.Costs().Complete, j.reap)
+		return
+	}
+	j.task.Exec(j.k.Costs().PollCheck, j.pollSpin)
+}
+
+// onComplete runs in softirq context on the delivery CPU (or inline in
+// polling mode, where the spinning thread reaps it).
+func (j *Job) onComplete(c kernel.Completion) {
+	j.pending = append(j.pending, c)
+	if j.k.Mode() == kernel.CompletePolling {
+		return
+	}
+	if c.WakePenalty > 0 {
+		j.task.AddPenalty(c.WakePenalty)
+	}
+	// Only a sleeping thread needs a wake; a running or queued one will
+	// reap this completion at its next burst boundary.
+	if j.task.State() == sched.StateSleeping {
+		j.task.Exec(j.reapCost(1), j.reap)
+		j.k.Sched.Wake(j.task)
+	}
+}
+
+// reap runs in thread context after the completion burst: record latency
+// and refill the window.
+func (j *Job) reap() {
+	now := j.eng.Now()
+	for _, c := range j.pending {
+		lat := int64(now.Sub(c.Result.SubmittedAt))
+		j.res.Hist.Record(lat)
+		j.res.IOs++
+		if c.Result.BlockedBySMART {
+			j.res.SMARTBlocked++
+		}
+		if c.Delivery.Remote {
+			j.res.RemoteIRQs++
+		}
+		if j.res.Log != nil {
+			j.res.Log.Add(int64(now), lat)
+		}
+		if j.res.Phases != nil {
+			j.res.Phases.add(c, now)
+		}
+		j.inflight--
+	}
+	j.pending = j.pending[:0]
+	if now >= j.deadline {
+		j.finishIfDrained()
+		return
+	}
+	if j.spec.ThinkTime > 0 {
+		j.eng.After(j.spec.ThinkTime, func() {
+			j.task.Exec(j.submitCost(1), j.submitWindow)
+			j.k.Sched.Wake(j.task)
+		})
+		return
+	}
+	j.submitWindow()
+}
+
+func (j *Job) finishIfDrained() {
+	if j.done || j.inflight > 0 {
+		return
+	}
+	j.done = true
+	j.res.Runtime = j.eng.Now().Sub(j.start)
+	j.res.Ladder = stats.LadderOf(j.res.Hist)
+	if j.onDone != nil {
+		j.onDone(&j.res)
+	}
+}
+
+// RunGroup runs a set of jobs to completion and returns their results in
+// spec order. It drives the engine itself.
+func RunGroup(eng *sim.Engine, k *kernel.Kernel, specs []JobSpec) []*Result {
+	results := make([]*Result, len(specs))
+	remaining := len(specs)
+	var maxDeadline sim.Time
+	for i, spec := range specs {
+		i := i
+		j := New(eng, k, spec)
+		if d := eng.Now().Add(j.spec.Runtime); d > maxDeadline {
+			maxDeadline = d
+		}
+		j.Start(func(r *Result) {
+			results[i] = r
+			remaining--
+		})
+	}
+	// Run until every job drained (a grace period covers the tail I/O).
+	grace := sim.Duration(0)
+	for remaining > 0 {
+		grace += 100 * sim.Millisecond
+		eng.RunUntil(maxDeadline.Add(grace))
+		if grace > 100*sim.Second {
+			panic("fio: jobs failed to drain")
+		}
+	}
+	return results
+}

@@ -1,0 +1,117 @@
+package irq
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func numaRig(t *testing.T) (*sim.Engine, *Controller) {
+	t.Helper()
+	eng := sim.NewEngine()
+	s := sched.New(eng, sched.Config{NumCPUs: 4, Seed: 1})
+	c := New(eng, s, Config{
+		NumSSDs: 2, NumCPUs: 4, Seed: 1,
+		SocketOf: []int{0, 0, 1, 1},
+	})
+	return eng, c
+}
+
+func TestCrossSocketDeliveryDetected(t *testing.T) {
+	eng, c := numaRig(t)
+	c.eff[0][1] = 3 // queue on socket 0, handler on socket 1
+	var got Delivery
+	c.Deliver(0, 1, func(d Delivery) { got = d })
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if !got.Remote || !got.CrossSocket {
+		t.Fatalf("delivery = %+v, want remote cross-socket", got)
+	}
+	if c.CrossSocketDeliveries() != 1 {
+		t.Fatalf("cross-socket count = %d", c.CrossSocketDeliveries())
+	}
+}
+
+func TestSameSocketRemoteIsNotCrossSocket(t *testing.T) {
+	eng, c := numaRig(t)
+	c.eff[0][1] = 0 // remote but same socket
+	var got Delivery
+	c.Deliver(0, 1, func(d Delivery) { got = d })
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if !got.Remote || got.CrossSocket {
+		t.Fatalf("delivery = %+v, want remote same-socket", got)
+	}
+}
+
+func TestCrossSocketWakePenaltyHigher(t *testing.T) {
+	_, c := numaRig(t)
+	same := c.WakePenalty(Delivery{Remote: true})
+	cross := c.WakePenalty(Delivery{Remote: true, CrossSocket: true})
+	if cross <= same {
+		t.Fatalf("cross-socket penalty %v not > same-socket %v", cross, same)
+	}
+	if c.WakePenalty(Delivery{}) != 0 {
+		t.Fatal("local delivery penalized")
+	}
+}
+
+func TestCrossSocketCostsStealMoreTime(t *testing.T) {
+	eng := sim.NewEngine()
+	s := sched.New(eng, sched.Config{NumCPUs: 4, Seed: 1})
+	c := New(eng, s, Config{NumSSDs: 1, NumCPUs: 4, Seed: 1, SocketOf: []int{0, 0, 1, 1}})
+	c.eff[0][0] = 2 // cross-socket
+	c.Deliver(0, 0, func(Delivery) {})
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	cross := s.CPU(2).StolenTime()
+
+	eng2 := sim.NewEngine()
+	s2 := sched.New(eng2, sched.Config{NumCPUs: 4, Seed: 1})
+	c2 := New(eng2, s2, Config{NumSSDs: 1, NumCPUs: 4, Seed: 1, SocketOf: []int{0, 0, 1, 1}})
+	c2.eff[0][0] = 1 // remote, same socket
+	c2.Deliver(0, 0, func(Delivery) {})
+	eng2.RunUntil(sim.Time(sim.Millisecond))
+	same := s2.CPU(1).StolenTime()
+
+	if cross <= same {
+		t.Fatalf("cross-socket handler time %v not > same-socket %v", cross, same)
+	}
+}
+
+func TestNoSocketMapMeansNoCrossSocket(t *testing.T) {
+	eng := sim.NewEngine()
+	s := sched.New(eng, sched.Config{NumCPUs: 4, Seed: 1})
+	c := New(eng, s, Config{NumSSDs: 1, NumCPUs: 4, Seed: 1})
+	c.eff[0][0] = 3
+	var got Delivery
+	c.Deliver(0, 0, func(d Delivery) { got = d })
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if got.CrossSocket {
+		t.Fatal("cross-socket without a socket map")
+	}
+}
+
+func TestAffinePolicyKeepsVectorsHome(t *testing.T) {
+	eng := sim.NewEngine()
+	s := sched.New(eng, sched.Config{NumCPUs: 4, Seed: 1})
+	c := New(eng, s, Config{
+		NumSSDs: 4, NumCPUs: 4, Seed: 1,
+		StartBalanced: true, Policy: BalanceAffine,
+	})
+	// Even with the balancer running, every vector must sit on its queue
+	// CPU after the first pass (and the initial spread already honours
+	// affinity).
+	eng.RunUntil(sim.Time(25 * sim.Second))
+	for ssd := 0; ssd < 4; ssd++ {
+		for q := 0; q < 4; q++ {
+			if c.EffectiveCPU(ssd, q) != q {
+				t.Fatalf("affine balancer left irq(%d,%d) on cpu(%d)", ssd, q, c.EffectiveCPU(ssd, q))
+			}
+		}
+	}
+	if c.policy.String() != "affinity-aware" {
+		t.Fatalf("policy String() = %q", c.policy.String())
+	}
+	if BalanceNaive.String() != "naive" {
+		t.Fatal("naive String() wrong")
+	}
+}

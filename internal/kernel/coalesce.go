@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"repro/internal/irq"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// Coalescing configures NVMe interrupt coalescing (the Set Features
+// "Interrupt Coalescing" feature): the controller withholds the MSI-X
+// interrupt until Threshold CQEs have accumulated on a queue or Timeout
+// has elapsed since the first withheld CQE. The paper worries about the
+// "interrupt storm coming from hundreds of SSDs" (Section I); coalescing
+// trades completion latency for interrupt rate, and the ablation bench
+// quantifies the trade.
+type Coalescing struct {
+	// Threshold is the batch size that forces an interrupt (0 disables
+	// coalescing entirely).
+	Threshold int
+	// Timeout bounds how long a lone CQE waits (NVMe expresses it in
+	// 100 µs increments; any positive duration is accepted here).
+	Timeout sim.Duration
+}
+
+// Enabled reports whether coalescing is active.
+func (c Coalescing) Enabled() bool { return c.Threshold > 1 && c.Timeout > 0 }
+
+// coalescer buffers CQEs for one (ssd, queue) pair.
+type coalescer struct {
+	k       *Kernel
+	ssd     int
+	queue   int
+	pending []pendingCQE
+	timer   *sim.Event
+}
+
+type pendingCQE struct {
+	res  nvme.Result
+	done func(Completion)
+}
+
+func (c *coalescer) add(res nvme.Result, done func(Completion)) {
+	c.pending = append(c.pending, pendingCQE{res: res, done: done})
+	if len(c.pending) >= c.k.coalesce.Threshold {
+		c.flush()
+		return
+	}
+	if c.timer == nil {
+		c.timer = c.k.eng.After(c.k.coalesce.Timeout, c.flush)
+	}
+}
+
+func (c *coalescer) flush() {
+	if c.timer != nil {
+		c.k.eng.Cancel(c.timer)
+		c.timer = nil
+	}
+	if len(c.pending) == 0 {
+		return
+	}
+	batch := c.pending
+	c.pending = nil
+	c.k.IRQ.DeliverN(c.ssd, c.queue, len(batch), func(d irq.Delivery) {
+		penalty := c.k.IRQ.WakePenalty(d)
+		for _, p := range batch {
+			p.done(Completion{
+				Result:      p.res,
+				Delivery:    d,
+				WakePenalty: penalty,
+				DeliveredAt: c.k.eng.Now(),
+			})
+			// The wake penalty is charged once per interrupt, not per CQE.
+			penalty = 0
+		}
+	})
+}
+
+// coalescerFor returns (creating on demand) the coalescer of (ssd, queue).
+func (k *Kernel) coalescerFor(ssd, queue int) *coalescer {
+	key := ssd*k.Sched.NumCPUs() + queue
+	if c, ok := k.coalescers[key]; ok {
+		return c
+	}
+	c := &coalescer{k: k, ssd: ssd, queue: queue}
+	k.coalescers[key] = c
+	return c
+}

@@ -1,0 +1,185 @@
+// Package kernel composes the host side of the stack: the block-layer I/O
+// submission path from a pinned thread down to an NVMe controller and back
+// up through the MSI-X interrupt path, the background daemon population
+// that the paper found interfering with FIO (llvmpipe, lttng-consumerd,
+// sshd, kworkers...), and the per-tick housekeeping cost policy (timer
+// callbacks, vmstat, RCU) that the isolcpus/nohz_full/rcu_nocbs boot
+// options suppress.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/irq"
+	"repro/internal/nvme"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// CompletionMode selects how the host learns about completions.
+type CompletionMode int
+
+const (
+	// CompleteInterrupt is the normal MSI-X path.
+	CompleteInterrupt CompletionMode = iota
+	// CompletePolling busy-polls the CQ from the submitting thread
+	// (Section V discussion; Yang et al.'s "when poll is better than
+	// interrupt").
+	CompletePolling
+)
+
+// Costs are host software path constants.
+type Costs struct {
+	// Submit is the CPU cost of io_submit for one 4 KiB request
+	// (syscall + blk-mq + doorbell write).
+	Submit sim.Duration
+	// Complete is the CPU cost of reaping one completion in the thread
+	// (io_getevents + fio bookkeeping).
+	Complete sim.Duration
+	// PollCheck is one CQ poll iteration's cost in polling mode.
+	PollCheck sim.Duration
+	// LatLogRecord is the extra per-I/O cost of fio latency logging
+	// (footnote 1: logging on all 64 SSDs perturbed the measurement).
+	LatLogRecord sim.Duration
+}
+
+// DefaultCosts returns calibrated host path costs.
+func DefaultCosts() Costs {
+	return Costs{
+		Submit:       1800 * sim.Nanosecond,
+		Complete:     1200 * sim.Nanosecond,
+		PollCheck:    300 * sim.Nanosecond,
+		LatLogRecord: 900 * sim.Nanosecond,
+	}
+}
+
+// Kernel wires scheduler, IRQ controller, and SSDs together.
+type Kernel struct {
+	eng   *sim.Engine
+	Sched *sched.Scheduler
+	IRQ   *irq.Controller
+	SSDs  []*nvme.Controller
+	costs Costs
+	mode  CompletionMode
+	rnd   *rng.Stream
+
+	daemons []*Daemon
+
+	coalesce   Coalescing
+	coalescers map[int]*coalescer
+
+	// tick-work model state
+	tickRnd *rng.Stream
+}
+
+// Config assembles a Kernel.
+type Config struct {
+	Sched *sched.Scheduler
+	IRQ   *irq.Controller
+	SSDs  []*nvme.Controller
+	Costs Costs
+	Mode  CompletionMode
+	// Coalesce enables NVMe interrupt coalescing (see Coalescing).
+	Coalesce Coalescing
+	Seed     uint64
+}
+
+// New builds the kernel and installs the tick-work policy on the
+// scheduler.
+func New(eng *sim.Engine, cfg Config) *Kernel {
+	if cfg.Sched == nil || cfg.IRQ == nil {
+		panic("kernel: Sched and IRQ required")
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	k := &Kernel{
+		eng:        eng,
+		Sched:      cfg.Sched,
+		IRQ:        cfg.IRQ,
+		SSDs:       cfg.SSDs,
+		costs:      cfg.Costs,
+		mode:       cfg.Mode,
+		coalesce:   cfg.Coalesce,
+		coalescers: map[int]*coalescer{},
+		rnd:        rng.NewLabeled(cfg.Seed, "kernel"),
+		tickRnd:    rng.NewLabeled(cfg.Seed, "tickwork"),
+	}
+	k.Sched.TickWork = k.tickWork
+	return k
+}
+
+// Costs reports the host path constants.
+func (k *Kernel) Costs() Costs { return k.costs }
+
+// Mode reports the completion mode.
+func (k *Kernel) Mode() CompletionMode { return k.mode }
+
+// tickWork models the housekeeping charged on each scheduler tick:
+// a small base (timer callbacks), occasional vmstat-style bursts, and —
+// on CPUs whose RCU callbacks are not offloaded — occasional RCU softirq
+// batches reaching into the hundreds of microseconds. These are the
+// residual noise sources that survive chrt but die with
+// isolcpus/nohz_full/rcu_nocbs (Fig 7 → Fig 8).
+func (k *Kernel) tickWork(cpu int) sim.Duration {
+	d := 1200*sim.Nanosecond + sim.Duration(k.tickRnd.Exp(600))
+	if k.tickRnd.Bool(0.05) { // vmstat / timer wheel burst
+		d += sim.Duration(k.tickRnd.LogNormalMean(6_000, 0.6))
+	}
+	if !k.Sched.Boot().RCUOffloaded(cpu) && k.tickRnd.Bool(0.02) {
+		// RCU callback batch.
+		d += sim.Duration(k.tickRnd.LogNormalMean(60_000, 0.7))
+	}
+	return d
+}
+
+// Completion carries everything the submitting thread needs when its I/O
+// finishes.
+type Completion struct {
+	Result nvme.Result
+	// Delivery is the interrupt delivery record (zero in polling mode).
+	Delivery irq.Delivery
+	// WakePenalty is the dispatch penalty the woken thread must be charged
+	// (remote IRQ: IPI + cache pollution).
+	WakePenalty sim.Duration
+	// DeliveredAt is when the host-side completion handler (softirq, or
+	// the poll loop) saw the CQE — the last kernel-side phase timestamp.
+	DeliveredAt sim.Time
+}
+
+// SubmitIO sends a command to an SSD on behalf of a thread currently on
+// CPU submitCPU, and invokes done in interrupt (softirq) context when it
+// completes. The caller charges Costs().Submit to the submitting thread's
+// burst; done typically Execs the thread's completion burst and wakes it.
+func (k *Kernel) SubmitIO(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
+	if ssd < 0 || ssd >= len(k.SSDs) {
+		panic(fmt.Sprintf("kernel: ssd %d out of range", ssd))
+	}
+	cmd.Queue = submitCPU
+	k.SSDs[ssd].Submit(cmd, func(res nvme.Result) {
+		switch k.mode {
+		case CompletePolling:
+			// The polling thread spins on the CQ: no interrupt, no wake
+			// penalty. Delivery is synthesized as local.
+			done(Completion{
+				Result:      res,
+				Delivery:    irq.Delivery{SSD: ssd, Queue: submitCPU, Executed: submitCPU},
+				DeliveredAt: k.eng.Now(),
+			})
+		default:
+			if k.coalesce.Enabled() {
+				k.coalescerFor(ssd, submitCPU).add(res, done)
+				return
+			}
+			k.IRQ.Deliver(ssd, submitCPU, func(d irq.Delivery) {
+				done(Completion{
+					Result:      res,
+					Delivery:    d,
+					WakePenalty: k.IRQ.WakePenalty(d),
+					DeliveredAt: k.eng.Now(),
+				})
+			})
+		}
+	})
+}

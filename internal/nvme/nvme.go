@@ -1,0 +1,433 @@
+// Package nvme models the M.2 NVMe SSD controller of Table I: per-CPU
+// submission/completion queue pairs, command processing, the NAND back-end
+// (package nand), and — central to Section IV-E — firmware housekeeping.
+//
+// The stock firmware periodically collects and persists SMART data; while
+// that runs, media access stalls for a few hundred microseconds, which is
+// exactly the periodic latency-spike train of Fig 10 and the ~600 µs
+// 6-nines floor of Figs 7–9. The "experimental firmware" build disables
+// SMART persistence entirely (Fig 11), and an "incremental" variant models
+// the improved housekeeping protocol the paper calls for in Section V:
+// the same bookkeeping spread into many microsecond-scale slices.
+package nvme
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+	"repro/internal/pcie"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Spec mirrors the paper's Table I.
+type Spec struct {
+	HostInterface   string
+	CapacityGB      int
+	RandReadIOPS    int
+	RandWriteIOPS   int
+	SeqReadMBps     int
+	SeqWriteMBps    int
+	NANDType        string
+	DesignReadLat   sim.Duration // 25 µs standalone design read latency (Section IV-A)
+	SwitchedReadLat sim.Duration // 30 µs through the PCIe switch fabric
+}
+
+// SpecTableI returns the modeled device's data sheet.
+func SpecTableI() Spec {
+	return Spec{
+		HostInterface:   "NVMe 1.2 - PCIe 3.0 x4",
+		CapacityGB:      960,
+		RandReadIOPS:    160_000,
+		RandWriteIOPS:   30_000,
+		SeqReadMBps:     1_700,
+		SeqWriteMBps:    750,
+		NANDType:        "3D MLC NAND",
+		DesignReadLat:   25 * sim.Microsecond,
+		SwitchedReadLat: 30 * sim.Microsecond,
+	}
+}
+
+// FirmwareKind selects the housekeeping behaviour.
+type FirmwareKind int
+
+const (
+	// FirmwareStandard periodically blocks media to update and save SMART
+	// data (the shipping firmware of Section IV-E).
+	FirmwareStandard FirmwareKind = iota
+	// FirmwareNoSMART is the experimental build with SMART update/save
+	// disabled (Fig 11).
+	FirmwareNoSMART
+	// FirmwareIncremental spreads SMART bookkeeping into microsecond
+	// slices — the improved housekeeping protocol of Section V.
+	FirmwareIncremental
+)
+
+func (k FirmwareKind) String() string {
+	switch k {
+	case FirmwareNoSMART:
+		return "experimental-nosmart"
+	case FirmwareIncremental:
+		return "incremental-smart"
+	default:
+		return "standard"
+	}
+}
+
+// Firmware configures housekeeping.
+type Firmware struct {
+	Kind FirmwareKind
+	// SMARTPeriod is the interval between SMART persistence windows.
+	SMARTPeriod sim.Duration
+	// SMARTBlockTime is how long one window stalls media (standard).
+	SMARTBlockTime sim.Duration
+	// IncrementalSlice is the media stall of one incremental step; steps
+	// run SMARTBlockTime/IncrementalSlice times more often, preserving
+	// total overhead.
+	IncrementalSlice sim.Duration
+}
+
+// DefaultFirmware returns the stock firmware: a ~550 µs media stall every
+// ~55 s (Fig 10 shows two spike windows within a 120 s / 4 M-sample run).
+func DefaultFirmware() Firmware {
+	return Firmware{
+		Kind:             FirmwareStandard,
+		SMARTPeriod:      55 * sim.Second,
+		SMARTBlockTime:   550 * sim.Microsecond,
+		IncrementalSlice: 5 * sim.Microsecond,
+	}
+}
+
+// Opcode is the NVMe command opcode subset the model implements.
+type Opcode int
+
+const (
+	// OpRead is a 4 KiB random read.
+	OpRead Opcode = iota
+	// OpWrite is a 4 KiB write (buffered, spec-rate limited).
+	OpWrite
+	// OpFlush drains the write cache (modeled as a fixed cost).
+	OpFlush
+)
+
+// Command is one NVMe I/O command.
+type Command struct {
+	Op    Opcode
+	LBA   int64 // in 4 KiB slices
+	Bytes int
+	Queue int // submitting CPU / queue pair index
+}
+
+// Result describes a completed command, with blktrace-style timestamps of
+// each phase so host tooling can decompose latency (see the fio package's
+// phase report and the anatomy example).
+type Result struct {
+	Cmd         Command
+	SubmittedAt sim.Time
+	// FetchedAt is when the controller finished fetching and decoding the
+	// SQE (doorbell + fabric + decode).
+	FetchedAt sim.Time
+	// MediaStartAt is when the NAND operation began (after any
+	// housekeeping stall); zero for non-media commands.
+	MediaStartAt sim.Time
+	// MediaDoneAt is when the NAND operation finished; zero for non-media
+	// commands.
+	MediaDoneAt sim.Time
+	// CompletedAt is when the CQE was posted (data transferred, interrupt
+	// about to fire).
+	CompletedAt sim.Time
+	// BlockedBySMART reports that the command waited on a housekeeping
+	// window.
+	BlockedBySMART bool
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Reads, Writes, Flushes int64
+	SMARTWindows           int64
+	SMARTBlockedIOs        int64
+	Formats                int64
+}
+
+// Controller is one SSD: NVMe front-end plus NAND back-end.
+type Controller struct {
+	ID     int
+	Spec   Spec
+	FW     Firmware
+	Flash  *nand.Device
+	fabric *pcie.Fabric
+	eng    *sim.Engine
+	rnd    *rng.Stream
+
+	// cmdFetch/cmdProcess/cqePost are controller-side costs per command.
+	cmdProcess sim.Duration
+	cqePost    sim.Duration
+
+	blockedUntil   sim.Time
+	smartTicker    *sim.Ticker
+	writeNextFree  sim.Time
+	writeTokenCost sim.Duration
+
+	stats Stats
+}
+
+// Config assembles a Controller.
+type Config struct {
+	ID     int
+	Fabric *pcie.Fabric
+	Geom   nand.Geometry
+	Timing nand.Timing
+	FW     Firmware
+	Seed   uint64
+}
+
+// New builds one SSD behind the fabric. The SMART phase is derived from the
+// seed and SSD ID so the 64 devices' windows do not align (each device's
+// spike train has its own phase, as in Fig 10).
+func New(eng *sim.Engine, cfg Config) *Controller {
+	if cfg.Fabric == nil {
+		panic("nvme: Fabric required")
+	}
+	if cfg.FW.SMARTPeriod == 0 {
+		cfg.FW = DefaultFirmware()
+	}
+	if cfg.Geom.Channels == 0 {
+		cfg.Geom = nand.TableIGeometry()
+	}
+	if cfg.Timing.ReadPage == 0 {
+		cfg.Timing = nand.MLC3DTiming()
+	}
+	c := &Controller{
+		ID:             cfg.ID,
+		Spec:           SpecTableI(),
+		FW:             cfg.FW,
+		fabric:         cfg.Fabric,
+		eng:            eng,
+		rnd:            rng.NewLabeled(cfg.Seed, fmt.Sprintf("nvme%d", cfg.ID)),
+		cmdProcess:     2 * sim.Microsecond,
+		cqePost:        500 * sim.Nanosecond,
+		writeTokenCost: sim.Duration(int64(sim.Second) / int64(SpecTableI().RandWriteIOPS)),
+	}
+	c.Flash = nand.NewDevice(eng, cfg.Geom, cfg.Timing, cfg.Seed^uint64(cfg.ID)*0x9e37)
+	c.startHousekeeping()
+	return c
+}
+
+// startHousekeeping arms the firmware's SMART timer per the kind.
+func (c *Controller) startHousekeeping() {
+	if c.smartTicker != nil {
+		c.smartTicker.Stop()
+		c.smartTicker = nil
+	}
+	switch c.FW.Kind {
+	case FirmwareNoSMART:
+		return
+	case FirmwareIncremental:
+		steps := int64(c.FW.SMARTBlockTime / c.FW.IncrementalSlice)
+		if steps < 1 {
+			steps = 1
+		}
+		period := c.FW.SMARTPeriod / sim.Duration(steps)
+		// Desynchronize devices with a phase offset.
+		phase := sim.Duration(c.rnd.Int63n(int64(period)))
+		c.eng.After(phase, func() {
+			c.smartTicker = sim.NewTicker(c.eng, period, func(sim.Time) {
+				c.blockMedia(c.FW.IncrementalSlice)
+			})
+		})
+	default:
+		phase := sim.Duration(c.rnd.Int63n(int64(c.FW.SMARTPeriod)))
+		c.eng.After(phase, func() {
+			c.smartWindow()
+			c.smartTicker = sim.NewTicker(c.eng, c.FW.SMARTPeriod, func(sim.Time) {
+				c.smartWindow()
+			})
+		})
+	}
+}
+
+func (c *Controller) smartWindow() {
+	c.stats.SMARTWindows++
+	c.blockMedia(c.FW.SMARTBlockTime)
+}
+
+func (c *Controller) blockMedia(d sim.Duration) {
+	until := c.eng.Now().Add(d)
+	if until > c.blockedUntil {
+		c.blockedUntil = until
+	}
+}
+
+// SetFirmware swaps the firmware build (a reflash) and re-arms
+// housekeeping.
+func (c *Controller) SetFirmware(fw Firmware) {
+	c.FW = fw
+	c.startHousekeeping()
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// MediaBlockedUntil exposes the housekeeping stall deadline (for tests).
+func (c *Controller) MediaBlockedUntil() sim.Time { return c.blockedUntil }
+
+// Submit issues a command; done fires when the CQE has been posted and the
+// MSI-X interrupt would be raised. The host-side interrupt path is the
+// caller's job (the kernel package routes it through package irq).
+func (c *Controller) Submit(cmd Command, done func(Result)) {
+	now := c.eng.Now()
+	res := Result{Cmd: cmd, SubmittedAt: now}
+	if cmd.Bytes == 0 {
+		cmd.Bytes = 4096
+	}
+
+	// Doorbell + SQE fetch across the fabric, then controller decode.
+	fetch := c.fabric.Downstream(c.ID, 64) + c.cmdProcess
+
+	c.eng.After(fetch, func() {
+		res.FetchedAt = c.eng.Now()
+		switch cmd.Op {
+		case OpRead:
+			c.stats.Reads++
+			c.mediaRead(cmd, res, done)
+		case OpWrite:
+			c.stats.Writes++
+			c.bufferedWrite(cmd, res, done)
+		case OpFlush:
+			c.stats.Flushes++
+			c.eng.After(50*sim.Microsecond, func() { c.complete(cmd, res, done) })
+		default:
+			panic(fmt.Sprintf("nvme: unknown opcode %d", cmd.Op))
+		}
+	})
+}
+
+// mediaRead waits out any housekeeping stall, reads NAND, and returns the
+// payload upstream.
+func (c *Controller) mediaRead(cmd Command, res Result, done func(Result)) {
+	now := c.eng.Now()
+	var stall sim.Duration
+	if c.blockedUntil > now {
+		stall = c.blockedUntil.Sub(now)
+		res.BlockedBySMART = true
+		c.stats.SMARTBlockedIOs++
+	}
+	c.eng.After(stall, func() {
+		res.MediaStartAt = c.eng.Now()
+		// Large commands stripe across consecutive slices; dies proceed in
+		// parallel, so the slowest slice governs.
+		slices := (cmd.Bytes + 4095) / 4096
+		if slices < 1 {
+			slices = 1
+		}
+		var nandDelay sim.Duration
+		for i := 0; i < slices; i++ {
+			if d := c.Flash.Read(cmd.LBA + int64(i)); d > nandDelay {
+				nandDelay = d
+			}
+		}
+		c.eng.After(nandDelay, func() {
+			res.MediaDoneAt = c.eng.Now()
+			up := c.fabric.Upstream(c.ID, cmd.Bytes) + c.cqePost
+			c.eng.After(up, func() { c.complete(cmd, res, done) })
+		})
+	})
+}
+
+// bufferedWrite admits the write into the cache at the spec's sustained
+// rate (Table I: 30 k random-write IOPS) and completes once buffered; the
+// NAND program happens in the background.
+func (c *Controller) bufferedWrite(cmd Command, res Result, done func(Result)) {
+	now := c.eng.Now()
+	var stall sim.Duration
+	if c.blockedUntil > now {
+		stall = c.blockedUntil.Sub(now)
+		res.BlockedBySMART = true
+		c.stats.SMARTBlockedIOs++
+	}
+	admit := now.Add(stall)
+	if c.writeNextFree > admit {
+		admit = c.writeNextFree
+	}
+	c.writeNextFree = admit.Add(c.writeTokenCost)
+	cache := 8 * sim.Microsecond
+	c.eng.At(admit.Add(cache), func() {
+		// Background program: its nominal latency (and transient die-queue
+		// waits) are hidden by the cache, but foreground GC in a used,
+		// non-FOB device stalls the cache drain and pushes out subsequent
+		// admissions — the used-state latency spikes of the paper's
+		// future-work study.
+		_, gc := c.Flash.WriteWithGC(cmd.LBA)
+		if gc > 0 {
+			c.writeNextFree = c.writeNextFree.Add(gc)
+		}
+		c.complete(cmd, res, done)
+	})
+}
+
+func (c *Controller) complete(cmd Command, res Result, done func(Result)) {
+	res.CompletedAt = c.eng.Now()
+	res.Cmd = cmd
+	done(res)
+}
+
+// Format executes the NVMe format admin command: all mappings are
+// discarded and the device returns to FOB (the paper's methodology before
+// every run). done fires when the device is usable again.
+func (c *Controller) Format(done func()) {
+	c.stats.Formats++
+	c.eng.After(200*sim.Millisecond, func() {
+		c.Flash.Format()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// IdentifyController is the subset of the NVMe Identify Controller data
+// structure the model reports (what `nvme id-ctrl` shows).
+type IdentifyController struct {
+	ModelNumber     string
+	SerialNumber    string
+	FirmwareRev     string
+	TotalCapacityGB int
+	NumNamespaces   int
+	// MDTS-equivalent: max transfer size in bytes.
+	MaxTransferBytes int
+}
+
+// Identify serves the Identify Controller admin command.
+func (c *Controller) Identify(done func(IdentifyController)) {
+	c.eng.After(c.cmdProcess+c.fabric.Upstream(c.ID, 4096), func() {
+		done(IdentifyController{
+			ModelNumber:      "CB-AFA-M2-960",
+			SerialNumber:     fmt.Sprintf("S4FANX0M%06d", c.ID),
+			FirmwareRev:      c.FW.Kind.String(),
+			TotalCapacityGB:  c.Spec.CapacityGB,
+			NumNamespaces:    1,
+			MaxTransferBytes: 128 << 10,
+		})
+	})
+}
+
+// SMARTLog is the subset of the SMART / health log page the model tracks.
+type SMARTLog struct {
+	PowerOnIOs    int64
+	SMARTWindows  int64
+	MediaBlocked  int64
+	FirmwareBuild string
+}
+
+// GetLogPage serves the SMART/health admin command. Reading the page does
+// not itself stall media (it returns the shadow copy), but it reflects how
+// often the firmware's internal collection ran.
+func (c *Controller) GetLogPage(done func(SMARTLog)) {
+	c.eng.After(c.cmdProcess+c.fabric.Upstream(c.ID, 512), func() {
+		done(SMARTLog{
+			PowerOnIOs:    c.stats.Reads + c.stats.Writes,
+			SMARTWindows:  c.stats.SMARTWindows,
+			MediaBlocked:  c.stats.SMARTBlockedIOs,
+			FirmwareBuild: c.FW.Kind.String(),
+		})
+	})
+}

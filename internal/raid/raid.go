@@ -1,0 +1,245 @@
+// Package raid models the client-visible side of the paper's motivation
+// (Section I): "in an AFA, one request from a client is divided into
+// multiple I/Os, which are then distributed to many SSDs in parallel as in
+// RAID. In such a setting, long tail latency of the slowest SSD would
+// decide system's overall responsiveness."
+//
+// A Client issues striped read requests: each request fans out one 4 KiB
+// sub-I/O to every SSD in its stripe set and completes when the *last*
+// sub-I/O completes. The per-request latency distribution therefore
+// amplifies the per-SSD tail: with a stripe width of w, a per-SSD
+// p-quantile event becomes a per-request 1-(1-p)^w event — which is why
+// the paper insists the impact of tail latency is much higher in an AFA
+// than in systems with few SSDs.
+package raid
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/nvme"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ClientSpec describes a striped-read client.
+type ClientSpec struct {
+	Name string
+	// Stripe lists the SSDs each request fans out to.
+	Stripe []int
+	// CPU pins the client thread.
+	CPU int
+	// Class/RTPrio set the scheduling class (as for FIO jobs).
+	Class  sched.Class
+	RTPrio int
+	// Runtime bounds the issue window.
+	Runtime sim.Duration
+	// QD is the number of outstanding striped requests (1 = closed loop).
+	QD   int
+	Seed uint64
+}
+
+// Result is the client-visible outcome.
+type Result struct {
+	Spec ClientSpec
+	// Hist is the striped-request latency distribution.
+	Hist   *stats.Histogram
+	Ladder stats.Ladder
+	// Requests completed.
+	Requests int64
+	// SubIOs completed (Requests × stripe width).
+	SubIOs int64
+	// StragglerSSD counts, per SSD, how often it was the last to answer.
+	StragglerSSD map[int]int64
+	Runtime      sim.Duration
+}
+
+// Client is a running striped-read workload.
+type Client struct {
+	spec ClientSpec
+	k    *kernel.Kernel
+	eng  *sim.Engine
+	task *sched.Task
+	rnd  *rng.Stream
+
+	res       Result
+	start     sim.Time
+	deadline  sim.Time
+	inflight  int
+	completed []*request
+	done      bool
+	onDone    func(*Result)
+
+	maxLBA int64
+}
+
+// request tracks one striped request's fan-out.
+type request struct {
+	c         *Client
+	issuedAt  sim.Time
+	remaining int
+	lastSSD   int
+}
+
+// New creates a client (call Start to run it).
+func New(eng *sim.Engine, k *kernel.Kernel, spec ClientSpec) *Client {
+	if len(spec.Stripe) == 0 {
+		panic("raid: empty stripe set")
+	}
+	if spec.QD == 0 {
+		spec.QD = 1
+	}
+	if spec.Runtime == 0 {
+		spec.Runtime = sim.Second
+	}
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("stripe-%d", len(spec.Stripe))
+	}
+	c := &Client{
+		spec: spec,
+		k:    k,
+		eng:  eng,
+		rnd:  rng.NewLabeled(spec.Seed, "raid-"+spec.Name),
+	}
+	c.res.Spec = spec
+	c.res.Hist = stats.NewHistogram()
+	c.res.StragglerSSD = map[int]int64{}
+	c.maxLBA = k.SSDs[spec.Stripe[0]].Flash.LogicalSlices()
+	prio := spec.RTPrio
+	if spec.Class == sched.ClassCFS {
+		prio = 0
+	}
+	c.task = k.Sched.NewTask("raid/"+spec.Name, spec.Class, prio, []int{spec.CPU})
+	return c
+}
+
+// Start begins issuing striped requests; onDone fires when the runtime
+// elapses and in-flight requests drain.
+func (c *Client) Start(onDone func(*Result)) {
+	c.onDone = onDone
+	ramp := sim.Duration(c.rnd.Int63n(int64(200 * sim.Microsecond)))
+	c.eng.After(ramp, func() {
+		c.start = c.eng.Now()
+		c.deadline = c.start.Add(c.spec.Runtime)
+		c.task.Exec(c.issueCost(), c.issueWindow)
+		c.k.Sched.Wake(c.task)
+	})
+}
+
+// issueCost is the submit burst for one striped request: one io_submit
+// batch covering every stripe member.
+func (c *Client) issueCost() sim.Duration {
+	return sim.Duration(len(c.spec.Stripe)) * c.k.Costs().Submit
+}
+
+func (c *Client) issueWindow() {
+	now := c.eng.Now()
+	if now >= c.deadline {
+		c.finishIfDrained()
+		return
+	}
+	for c.inflight < c.spec.QD {
+		c.inflight++
+		c.issueOne()
+	}
+	// Requests may have raced to completion while this thread was
+	// submitting (QD > 1); reap them now rather than sleeping.
+	if len(c.completed) > 0 {
+		c.task.Exec(c.reapCost(len(c.completed)), c.reapAll)
+	}
+}
+
+func (c *Client) reapCost(n int) sim.Duration {
+	return sim.Duration(n*len(c.spec.Stripe)) * c.k.Costs().Complete
+}
+
+func (c *Client) issueOne() {
+	req := &request{c: c, issuedAt: c.eng.Now(), remaining: len(c.spec.Stripe)}
+	lba := c.rnd.Int63n(c.maxLBA)
+	for _, ssd := range c.spec.Stripe {
+		ssd := ssd
+		cmd := nvme.Command{Op: nvme.OpRead, LBA: lba, Bytes: 4096}
+		c.k.SubmitIO(c.task.CPU(), ssd, cmd, func(comp kernel.Completion) {
+			req.subDone(ssd, comp)
+		})
+	}
+}
+
+// subDone runs in softirq context for each sub-I/O.
+func (r *request) subDone(ssd int, comp kernel.Completion) {
+	c := r.c
+	c.res.SubIOs++
+	r.remaining--
+	r.lastSSD = ssd
+	if comp.WakePenalty > 0 {
+		c.task.AddPenalty(comp.WakePenalty)
+	}
+	if r.remaining > 0 {
+		return // the client thread is only woken by the straggler
+	}
+	// Last sub-I/O: the request is complete once the thread reaps it. A
+	// sleeping thread needs a wake; a running or queued one reaps at its
+	// next burst boundary.
+	c.res.StragglerSSD[ssd]++
+	c.completed = append(c.completed, r)
+	if c.task.State() == sched.StateSleeping {
+		c.task.Exec(c.reapCost(len(c.completed)), c.reapAll)
+		c.k.Sched.Wake(c.task)
+	}
+}
+
+func (c *Client) reapAll() {
+	now := c.eng.Now()
+	for _, r := range c.completed {
+		c.res.Hist.Record(int64(now.Sub(r.issuedAt)))
+		c.res.Requests++
+		c.inflight--
+	}
+	c.completed = c.completed[:0]
+	if now >= c.deadline {
+		c.finishIfDrained()
+		return
+	}
+	c.task.Exec(c.issueCost(), c.issueWindow)
+}
+
+func (c *Client) finishIfDrained() {
+	if c.done || c.inflight > 0 {
+		return
+	}
+	c.done = true
+	c.res.Runtime = c.eng.Now().Sub(c.start)
+	c.res.Ladder = stats.LadderOf(c.res.Hist)
+	if c.onDone != nil {
+		c.onDone(&c.res)
+	}
+}
+
+// Run drives a set of clients to completion on the given engine.
+func Run(eng *sim.Engine, k *kernel.Kernel, specs []ClientSpec) []*Result {
+	results := make([]*Result, len(specs))
+	remaining := len(specs)
+	var maxDeadline sim.Time
+	for i, spec := range specs {
+		i := i
+		cl := New(eng, k, spec)
+		if d := eng.Now().Add(cl.spec.Runtime); d > maxDeadline {
+			maxDeadline = d
+		}
+		cl.Start(func(r *Result) {
+			results[i] = r
+			remaining--
+		})
+	}
+	grace := sim.Duration(0)
+	for remaining > 0 {
+		grace += 100 * sim.Millisecond
+		eng.RunUntil(maxDeadline.Add(grace))
+		if grace > 100*sim.Second {
+			panic("raid: clients failed to drain")
+		}
+	}
+	return results
+}

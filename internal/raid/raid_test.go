@@ -1,0 +1,133 @@
+package raid
+
+import (
+	"testing"
+
+	"repro/internal/irq"
+	"repro/internal/kernel"
+	"repro/internal/nand"
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func newRig(t *testing.T, ncpu, nssd int) (*sim.Engine, *kernel.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.Config{NumCPUs: ncpu, Seed: 9,
+		Boot: sched.BootOptions{IdlePoll: true}})
+	fab := pcie.NewFabric(eng, pcie.Options{NumSSDs: nssd})
+	fw := nvme.DefaultFirmware()
+	fw.Kind = nvme.FirmwareNoSMART
+	var ssds []*nvme.Controller
+	for i := 0; i < nssd; i++ {
+		ssds = append(ssds, nvme.New(eng, nvme.Config{
+			ID: i, Fabric: fab, FW: fw, Seed: 9, Geom: nand.TinyGeometry()}))
+	}
+	ic := irq.New(eng, sch, irq.Config{NumSSDs: nssd, NumCPUs: ncpu, Seed: 9})
+	return eng, kernel.New(eng, kernel.Config{Sched: sch, IRQ: ic, SSDs: ssds, Seed: 9})
+}
+
+func TestStripedReadCompletes(t *testing.T) {
+	eng, k := newRig(t, 2, 4)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 200 * sim.Millisecond, Seed: 1,
+	}})[0]
+	if res.Requests < 1000 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.SubIOs != res.Requests*4 {
+		t.Fatalf("subIOs = %d for %d requests ×4", res.SubIOs, res.Requests)
+	}
+	var stragglers int64
+	for _, n := range res.StragglerSSD {
+		stragglers += n
+	}
+	if stragglers != res.Requests {
+		t.Fatalf("straggler records = %d, want %d", stragglers, res.Requests)
+	}
+}
+
+func TestStripeLatencyIsMaxOfMembers(t *testing.T) {
+	// A stripe over w SSDs must be slower on average than a single
+	// sub-I/O (expectation of the max exceeds the mean), and its average
+	// must be at least the single-SSD average.
+	eng, k := newRig(t, 2, 8)
+	rs := Run(eng, k, []ClientSpec{
+		{Name: "w1", Stripe: []int{0}, CPU: 1, Runtime: 200 * sim.Millisecond, Seed: 1},
+	})
+	w1 := rs[0]
+
+	eng2, k2 := newRig(t, 2, 8)
+	rs2 := Run(eng2, k2, []ClientSpec{
+		{Name: "w8", Stripe: []int{0, 1, 2, 3, 4, 5, 6, 7}, CPU: 1, Runtime: 200 * sim.Millisecond, Seed: 1},
+	})
+	w8 := rs2[0]
+
+	if w8.Ladder.Avg <= w1.Ladder.Avg {
+		t.Fatalf("w8 avg %.0f not above w1 avg %.0f (max of 8 draws)", w8.Ladder.Avg, w1.Ladder.Avg)
+	}
+}
+
+func TestSlowMemberDominatesStripe(t *testing.T) {
+	eng, k := newRig(t, 2, 4)
+	// Make SSD 2 much slower.
+	k.SSDs[2].Flash.Timing.ReadPage *= 3
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 200 * sim.Millisecond, Seed: 1,
+	}})[0]
+	// The slow SSD must be the straggler almost always.
+	if frac := float64(res.StragglerSSD[2]) / float64(res.Requests); frac < 0.95 {
+		t.Fatalf("slow SSD straggled only %.0f%% of requests", frac*100)
+	}
+}
+
+func TestTailAmplification(t *testing.T) {
+	// The Section I claim, quantitatively: a per-SSD tail event at
+	// quantile p appears in a width-w stripe at ≈ 1-(1-p)^w. With the
+	// per-op lognormal jitter, the stripe's median must sit near the
+	// member's high percentiles.
+	eng, k := newRig(t, 3, 8)
+	stripe := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rs := Run(eng, k, []ClientSpec{
+		{Name: "w8", Stripe: stripe, CPU: 1, Runtime: 300 * sim.Millisecond, Seed: 2},
+		{Name: "w1", Stripe: []int{0}, CPU: 2, Runtime: 300 * sim.Millisecond, Seed: 3},
+	})
+	w8, w1 := rs[0], rs[1]
+	// Median of max-of-8 ≈ the single's ~0.917 quantile (0.5^(1/8)).
+	singleP92 := w1.Hist.Quantile(0.917)
+	med8 := w8.Hist.Quantile(0.5)
+	// Allow the stripe's extra submit/reap overhead (~8 sub-IO handling).
+	if med8 < singleP92 {
+		t.Fatalf("stripe median %d below member p91.7 %d; no amplification", med8, singleP92)
+	}
+}
+
+func TestQD2KeepsTwoInFlight(t *testing.T) {
+	eng, k := newRig(t, 2, 2)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1}, CPU: 1, QD: 2, Runtime: 200 * sim.Millisecond, Seed: 1,
+	}})[0]
+	if res.Requests < 1000 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// Device-level parallelism must beat QD1 throughput.
+	eng2, k2 := newRig(t, 2, 2)
+	res1 := Run(eng2, k2, []ClientSpec{{
+		Stripe: []int{0, 1}, CPU: 1, QD: 1, Runtime: 200 * sim.Millisecond, Seed: 1,
+	}})[0]
+	if res.Requests <= res1.Requests {
+		t.Fatalf("QD2 requests %d not above QD1 %d", res.Requests, res1.Requests)
+	}
+}
+
+func TestEmptyStripePanics(t *testing.T) {
+	eng, k := newRig(t, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty stripe accepted")
+		}
+	}()
+	New(eng, k, ClientSpec{CPU: 1})
+}

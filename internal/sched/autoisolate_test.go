@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIOBoundClassification(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 1, Seed: 1})
+	io := newIOThread(s, eng, "fio", ClassCFS, 0, []int{0})
+	io.pumpQD1(27 * sim.Microsecond)
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if !io.task.IOBound(eng.Now()) {
+		t.Fatalf("QD1 thread (runtime %v over %v, %d wakes) not classified I/O-bound",
+			io.task.RunTime(), eng.Now(), io.task.Wakes())
+	}
+
+	h := newHog(s, "hog", []int{0})
+	h.wake()
+	eng.RunUntil(sim.Time(300 * sim.Millisecond))
+	if h.task.IOBound(eng.Now()) {
+		t.Fatal("CPU hog classified I/O-bound")
+	}
+}
+
+func TestIOBoundNeedsHistory(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 1, Seed: 1})
+	task := s.NewTask("young", ClassCFS, 0, []int{0})
+	if task.IOBound(eng.Now()) {
+		t.Fatal("never-ran task classified I/O-bound")
+	}
+	task.Exec(sim.Microsecond, nil)
+	s.Wake(task)
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if task.IOBound(eng.Now()) {
+		t.Fatal("task with 1 wake classified I/O-bound")
+	}
+}
+
+func TestAutoIsolateKeepsHogsOffIOCPUs(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 4, Seed: 1, AutoIsolateIOBound: true})
+	// Pinned I/O threads on CPUs 1-3; CPU 0 free.
+	ios := make([]*ioThread, 3)
+	for i := range ios {
+		ios[i] = newIOThread(s, eng, "fio", ClassCFS, 0, []int{i + 1})
+		ios[i].pumpQD1(27 * sim.Microsecond)
+	}
+	// Let classification warm up.
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+
+	for i := 0; i < 4; i++ {
+		h := newHog(s, "hog", nil)
+		h.wake()
+	}
+	before1, before2, before3 := s.CPU(1).BusyTime(), s.CPU(2).BusyTime(), s.CPU(3).BusyTime()
+	eng.RunUntil(sim.Time(250 * sim.Millisecond))
+
+	// The I/O CPUs' extra busy time must be only their own I/O bursts
+	// (< 20% utilization), not hog time.
+	for cpu, before := range map[int]sim.Duration{1: before1, 2: before2, 3: before3} {
+		extra := s.CPU(cpu).BusyTime() - before
+		if extra > 60*sim.Millisecond { // 200ms window; I/O alone is ~25ms
+			t.Fatalf("cpu(%d) ran %v in 200ms; hogs were placed on an I/O CPU", cpu, extra)
+		}
+	}
+	if s.CPU(0).BusyTime() < 150*sim.Millisecond {
+		t.Fatalf("free CPU barely used (%v); hogs went somewhere else", s.CPU(0).BusyTime())
+	}
+}
+
+func TestAutoIsolateFallsBackWhenAllCPUsHostIO(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 2, Seed: 1, AutoIsolateIOBound: true})
+	for i := 0; i < 2; i++ {
+		io := newIOThread(s, eng, "fio", ClassCFS, 0, []int{i})
+		io.pumpQD1(27 * sim.Microsecond)
+	}
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	h := newHog(s, "hog", nil)
+	h.wake()
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if h.task.RunTime() == 0 {
+		t.Fatal("hog starved when every CPU hosts I/O (policy must fall back)")
+	}
+}
+
+func TestAutoIsolateOffByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 2, Seed: 1})
+	io := newIOThread(s, eng, "fio", ClassCFS, 0, []int{1})
+	io.pumpQD1(27 * sim.Microsecond)
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	// Busy CPU 0 with a pinned hog, then wake an unpinned one: without the
+	// policy it may land on cpu(1) (the I/O CPU) since it is idle.
+	pinned := newHog(s, "pinned", []int{0})
+	pinned.wake()
+	eng.RunUntil(sim.Time(60 * sim.Millisecond))
+	free := newHog(s, "free", nil)
+	free.wake()
+	eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	if free.task.CPU() != 1 {
+		t.Fatalf("stock policy placed the hog on cpu(%d); expected the idle-looking I/O CPU", free.task.CPU())
+	}
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLoadBalancerEvensOutHogs(t *testing.T) {
+	// Three CPU-bound tasks on two CPUs: without periodic balancing the
+	// pair stacked on one CPU gets 50% each while the loner gets 100%;
+	// with it, everyone converges toward 2/3.
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 2, Seed: 1})
+	hogs := make([]*hog, 3)
+	for i := range hogs {
+		hogs[i] = newHog(s, "hog", nil)
+		hogs[i].wake()
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	var min, max sim.Duration
+	for i, h := range hogs {
+		rt := h.task.RunTime()
+		if i == 0 || rt < min {
+			min = rt
+		}
+		if rt > max {
+			max = rt
+		}
+	}
+	if min == 0 {
+		t.Fatal("a hog starved")
+	}
+	if float64(max)/float64(min) > 1.35 {
+		t.Fatalf("unfair split despite balancing: min=%v max=%v", min, max)
+	}
+}
+
+func TestLoadBalancerRespectsIsolcpus(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 2, Seed: 1, Boot: BootOptions{Isolcpus: []int{1}}})
+	for i := 0; i < 3; i++ {
+		h := newHog(s, "hog", nil)
+		h.wake()
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	if s.CPU(1).BusyTime() != 0 {
+		t.Fatalf("balancer migrated unpinned work onto isolated cpu(1): %v", s.CPU(1).BusyTime())
+	}
+}
+
+func TestLoadBalancerRespectsAffinity(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 2, Seed: 1})
+	// Two hogs pinned to cpu0; cpu1 idle but must not receive them.
+	for i := 0; i < 2; i++ {
+		h := newHog(s, "pinned", []int{0})
+		h.wake()
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	if s.CPU(1).BusyTime() != 0 {
+		t.Fatalf("balancer violated affinity: cpu1 busy %v", s.CPU(1).BusyTime())
+	}
+}
+
+func TestLoadBalancerRespectsAutoIsolation(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, Config{NumCPUs: 3, Seed: 1, AutoIsolateIOBound: true})
+	io := newIOThread(s, eng, "fio", ClassCFS, 0, []int{2})
+	io.pumpQD1(27 * sim.Microsecond)
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	ioBusyBefore := s.CPU(2).BusyTime()
+
+	for i := 0; i < 4; i++ {
+		h := newHog(s, "hog", nil)
+		h.wake()
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	// cpu2 hosts the I/O thread: the balancer must not pull hogs onto it;
+	// its extra busy time is only the thread's own bursts.
+	extra := s.CPU(2).BusyTime() - ioBusyBefore
+	if extra > 300*sim.Millisecond {
+		t.Fatalf("balancer pulled hogs onto the I/O CPU: extra busy %v", extra)
+	}
+}

@@ -1,0 +1,127 @@
+// Package sched models the Linux 4.x CPU scheduler closely enough to
+// reproduce the paper's observations:
+//
+//   - CFS with per-entity vruntime, sleeper credit on wakeup
+//     (place_entity), wakeup-preemption granularity, and
+//     latency-target-derived timeslices. The paper's 5 ms worst-case
+//     latency under the default configuration arises exactly here: a
+//     freshly woken CPU-bound daemon holds sleeper credit, so an I/O
+//     thread's wakeup fails the preemption check and waits out most of
+//     the daemon's slice.
+//   - SCHED_FIFO (chrt -f 99), which preempts any CFS task immediately —
+//     the paper's first knob (Section IV-B).
+//   - Boot options isolcpus / nohz_full / rcu_nocbs / idle=poll /
+//     processor.max_cstate (Section IV-C): isolated CPUs are excluded
+//     from placement of unpinned tasks, drop to a 1 Hz tick when they
+//     have at most one runnable task, host no RCU callback work, and
+//     skip C-state entry/exit.
+//   - Interrupt "time stealing": hardirq/softirq work interrupts the
+//     running task and delays its burst; the irq package injects those.
+//   - Idle C-states with exit latency, entered progressively the longer a
+//     CPU stays idle.
+package sched
+
+import "repro/internal/sim"
+
+// Params are the scheduler tunables; Defaults matches Linux 4.7 defaults
+// scaled for a 40-CPU machine.
+type Params struct {
+	// TickPeriod is the periodic scheduler tick (CONFIG_HZ=1000 → 1 ms).
+	TickPeriod sim.Duration
+	// NoHzTickPeriod is the residual 1 Hz tick on nohz_full CPUs.
+	NoHzTickPeriod sim.Duration
+	// SchedLatency is the CFS latency target (period with few tasks).
+	SchedLatency sim.Duration
+	// MinGranularity floors a task's slice.
+	MinGranularity sim.Duration
+	// WakeupGranularity is the vruntime advantage a waking task needs
+	// before it may preempt the current CFS task.
+	WakeupGranularity sim.Duration
+	// SleeperCredit caps the vruntime credit granted to a waking task
+	// (place_entity subtracts sched_latency/2 in "gentle" mode).
+	SleeperCredit sim.Duration
+	// CtxSwitch is the direct cost of a context switch.
+	CtxSwitch sim.Duration
+	// ColdCachePenalty is extra first-burst time after the task lost the
+	// CPU to someone else (cache refill).
+	ColdCachePenalty sim.Duration
+	// MigrationPenalty is extra first-burst time after cross-CPU
+	// migration.
+	MigrationPenalty sim.Duration
+	// HTContentionFactor inflates burst time (per mille) when the
+	// hyper-thread sibling is busy at burst start; 250 = +25%.
+	HTContentionFactor int
+}
+
+// DefaultParams returns Linux-4.7-like tunables.
+func DefaultParams() Params {
+	return Params{
+		TickPeriod:         sim.Millisecond,
+		NoHzTickPeriod:     sim.Second,
+		SchedLatency:       6 * sim.Millisecond,
+		MinGranularity:     750 * sim.Microsecond,
+		WakeupGranularity:  sim.Millisecond,
+		SleeperCredit:      3 * sim.Millisecond,
+		CtxSwitch:          1500 * sim.Nanosecond,
+		ColdCachePenalty:   1800 * sim.Nanosecond,
+		MigrationPenalty:   3500 * sim.Nanosecond,
+		HTContentionFactor: 250,
+	}
+}
+
+// BootOptions model the kernel command line of Section IV-C.
+type BootOptions struct {
+	// Isolcpus excludes the listed CPUs from scheduler placement of
+	// unpinned tasks (isolcpus=).
+	Isolcpus []int
+	// NoHzFull stops the periodic tick on the listed CPUs while they run
+	// at most one task (nohz_full=).
+	NoHzFull []int
+	// RCUNocbs offloads RCU callback work from the listed CPUs
+	// (rcu_nocbs=). The kernel package consults this when injecting
+	// housekeeping work.
+	RCUNocbs []int
+	// IdlePoll spins the idle loop instead of entering C-states
+	// (idle=poll).
+	IdlePoll bool
+	// MaxCState caps the deepest C-state (processor.max_cstate=1 keeps
+	// exit latency at the C1 level).
+	MaxCState int
+}
+
+// isolated reports whether cpu is in the isolcpus set.
+func (b BootOptions) isolated(cpu int) bool { return contains(b.Isolcpus, cpu) }
+
+// noHz reports whether cpu is in the nohz_full set.
+func (b BootOptions) noHz(cpu int) bool { return contains(b.NoHzFull, cpu) }
+
+// RCUOffloaded reports whether cpu is in the rcu_nocbs set.
+func (b BootOptions) RCUOffloaded(cpu int) bool { return contains(b.RCUNocbs, cpu) }
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// CState describes one idle state of the CPU.
+type CState struct {
+	Name string
+	// Residency is how long the CPU must have been idle before the
+	// governor promotes it into this state.
+	Residency sim.Duration
+	// ExitLatency is paid when a wakeup arrives while in this state.
+	ExitLatency sim.Duration
+}
+
+// XeonCStates returns the modeled C-state table (C0 is implicit).
+func XeonCStates() []CState {
+	return []CState{
+		{Name: "C1", Residency: 0, ExitLatency: 2 * sim.Microsecond},
+		{Name: "C3", Residency: 100 * sim.Microsecond, ExitLatency: 60 * sim.Microsecond},
+		{Name: "C6", Residency: 600 * sim.Microsecond, ExitLatency: 130 * sim.Microsecond},
+	}
+}

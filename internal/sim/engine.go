@@ -1,0 +1,228 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underpins the all-flash-array model.
+//
+// The engine maintains a virtual clock and a priority queue of pending
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break), which makes every simulation fully
+// deterministic and therefore reproducible: the same seed always yields the
+// same latency distributions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Microseconds reports d as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as a floating-point number of seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. The zero value is not usable; events are
+// created through Engine.At and Engine.After.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// When reports the instant the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// a simulation is a single-threaded, deterministic computation.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stepped uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps reports how many events have fired so far.
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// Pending reports the number of queued events (including canceled ones that
+// have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// panics: that is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. A negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Reschedule moves a pending event to a new absolute instant. If the event
+// already fired or was canceled, a fresh event is scheduled with the same
+// callback.
+func (e *Engine) Reschedule(ev *Event, t Time) *Event {
+	e.Cancel(ev)
+	return e.At(t, ev.fn)
+}
+
+// Step fires the next pending event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = -1
+		if ev.canceled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: event queue corrupted (time went backwards)")
+		}
+		e.now = ev.when
+		e.stepped++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+// Events scheduled at exactly t do fire.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			next.index = -1
+			continue
+		}
+		if next.when > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes the current Run or RunUntil return after the in-flight event
+// callback completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// eventHeap orders events by (when, seq) so that simultaneous events fire in
+// scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

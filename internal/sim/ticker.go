@@ -1,0 +1,63 @@
+package sim
+
+// Ticker invokes a callback at a fixed period. Unlike a bare repeating
+// event, a Ticker can be retuned (period changed) or stopped, which the
+// scheduler uses to model nohz_full switching a CPU between a 1 kHz and a
+// 1 Hz tick.
+type Ticker struct {
+	eng    *Engine
+	period Duration
+	fn     func(Time)
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker starts a ticker whose first fire is one period from now.
+// fn receives the fire time.
+func NewTicker(eng *Engine, period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.period, t.fire)
+}
+
+func (t *Ticker) fire() {
+	if t.stop {
+		return
+	}
+	t.fn(t.eng.Now())
+	if !t.stop {
+		t.arm()
+	}
+}
+
+// Period reports the current period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// SetPeriod changes the period. The next fire is re-anchored one new period
+// from now.
+func (t *Ticker) SetPeriod(p Duration) {
+	if p <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	if p == t.period {
+		return
+	}
+	t.period = p
+	if !t.stop {
+		t.eng.Cancel(t.ev)
+		t.arm()
+	}
+}
+
+// Stop cancels the ticker. A stopped ticker never fires again.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.eng.Cancel(t.ev)
+}

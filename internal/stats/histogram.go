@@ -1,0 +1,183 @@
+// Package stats implements the latency statistics pipeline used throughout
+// the reproduction: a log-bucketed histogram (HDR-style), the fio
+// completion-latency percentile ladder from the paper (average, 2-nines
+// through 6-nines, and the 100th/maximum), cross-SSD aggregation (mean and
+// standard deviation of each ladder rung over 64 devices, as plotted in
+// Figs 12 and 14), and raw sample logs for the Fig 10 scatter plot.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Histogram records value counts with bounded relative error, like an HDR
+// histogram. Values are expected to be latencies in nanoseconds but any
+// positive int64 works. Each power of two is split into subBuckets linear
+// buckets, bounding relative quantile error to ~1/subBuckets (0.78% here).
+type Histogram struct {
+	counts []int64
+	total  int64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const (
+	// Values below 2^subBucketBits are recorded exactly; above that, each
+	// octave [2^e, 2^(e+1)) is split into 2^(subBucketBits-1) linear
+	// buckets, bounding relative quantile error to 2^-(subBucketBits-1)
+	// (0.78% here).
+	subBucketBits = 8
+	subBuckets    = 1 << subBucketBits
+	halfBuckets   = subBuckets / 2
+	// maxShift covers values up to ~2^43 ns ≈ 2.4 h of simulated latency,
+	// far beyond anything the model produces.
+	maxShift   = 36
+	numBuckets = subBuckets + maxShift*halfBuckets
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]int64, numBuckets),
+		min:    math.MaxInt64,
+	}
+}
+
+// bucketIndex maps a positive value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v) // exact region
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v) >= subBucketBits
+	shift := exp - subBucketBits + 1           // >= 1
+	sub := int(v >> uint(shift))               // in [halfBuckets, subBuckets)
+	return subBuckets + (shift-1)*halfBuckets + (sub - halfBuckets)
+}
+
+// bucketLow returns the smallest value mapping to bucket i; used to report
+// quantiles.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	k := i - subBuckets
+	shift := k/halfBuckets + 1
+	sub := k%halfBuckets + halfBuckets
+	return int64(sub) << uint(shift)
+}
+
+// Record adds one observation. Non-positive values are clamped to 1 (the
+// simulator never produces them, but defensive clamping keeps property
+// tests simple).
+func (h *Histogram) Record(v int64) {
+	if v < 1 {
+		v = 1
+	}
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean reports the arithmetic mean of the exact recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min reports the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded value exactly (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile reports the value at quantile q in [0, 1]. q=1 returns the exact
+// maximum; other quantiles carry the bucket's relative error. Empty
+// histograms report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			// The bucket's lower edge keeps quantiles conservative and
+			// monotonic; clamp into [min, max] so a bucket edge below the
+			// exact minimum never leaks out.
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all of o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.total > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram{n=%d mean=%.0f max=%d}", h.total, h.Mean(), h.max)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ladder is the fio-style completion-latency summary the paper plots for
+// every SSD: average latency, the 2-nines through 6-nines percentiles, and
+// the 100th percentile (maximum). All values are in nanoseconds.
+type Ladder struct {
+	Avg float64
+	// P[0..4] = 99%, 99.9%, 99.99%, 99.999%, 99.9999%.
+	P   [5]int64
+	Max int64
+	N   int64
+}
+
+// LadderNines are the quantiles of the five percentile rungs.
+var LadderNines = [5]float64{0.99, 0.999, 0.9999, 0.99999, 0.999999}
+
+// LadderLabels label the rungs, in the same order the figures use.
+var LadderLabels = []string{"avg", "99%", "99.9%", "99.99%", "99.999%", "99.9999%", "max"}
+
+// LadderOf summarizes a histogram into the paper's percentile ladder.
+func LadderOf(h *Histogram) Ladder {
+	var l Ladder
+	l.Avg = h.Mean()
+	for i, q := range LadderNines {
+		l.P[i] = h.Quantile(q)
+	}
+	l.Max = h.Max()
+	l.N = h.Count()
+	return l
+}
+
+// Rung reports rung i of the ladder as a float64 nanosecond value, where
+// i indexes LadderLabels (0 = avg ... 6 = max).
+func (l Ladder) Rung(i int) float64 {
+	switch i {
+	case 0:
+		return l.Avg
+	case 6:
+		return float64(l.Max)
+	default:
+		return float64(l.P[i-1])
+	}
+}
+
+// NumRungs is the number of rungs in a Ladder (avg, five nines, max).
+const NumRungs = 7
+
+// String renders the ladder in microseconds, matching how the paper's
+// figures are read.
+func (l Ladder) String() string {
+	var b strings.Builder
+	for i := 0; i < NumRungs; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.1fµs", LadderLabels[i], l.Rung(i)/1e3)
+	}
+	return b.String()
+}
+
+// LadderSummary aggregates one ladder rung across many SSDs: the mean and
+// standard deviation plotted in Fig 12 and Fig 14, plus min/max across
+// devices (the visual "spread" of the 64 lines in Figs 6-9, 11, 13).
+type LadderSummary struct {
+	Mean [NumRungs]float64
+	Std  [NumRungs]float64
+	Min  [NumRungs]float64
+	Max  [NumRungs]float64
+	N    int
+}
+
+// Summarize aggregates the per-SSD ladders.
+func Summarize(ladders []Ladder) LadderSummary {
+	var s LadderSummary
+	s.N = len(ladders)
+	if s.N == 0 {
+		return s
+	}
+	for r := 0; r < NumRungs; r++ {
+		var w Welford
+		mn, mx := ladders[0].Rung(r), ladders[0].Rung(r)
+		for _, l := range ladders {
+			v := l.Rung(r)
+			w.Add(v)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		s.Mean[r] = w.Mean()
+		s.Std[r] = w.Std()
+		s.Min[r] = mn
+		s.Max[r] = mx
+	}
+	return s
+}

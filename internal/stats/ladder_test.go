@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func uniformHistogram(n int, scale int64) *Histogram {
+	h := NewHistogram()
+	for i := 1; i <= n; i++ {
+		h.Record(int64(i) * scale)
+	}
+	return h
+}
+
+func TestLadderOf(t *testing.T) {
+	h := uniformHistogram(100000, 1)
+	l := LadderOf(h)
+	if l.N != 100000 {
+		t.Fatalf("N = %d", l.N)
+	}
+	if math.Abs(l.Avg-50000.5) > 1 {
+		t.Fatalf("Avg = %v", l.Avg)
+	}
+	wantApprox := []int64{99000, 99900, 99990, 99999, 100000}
+	for i, w := range wantApprox {
+		if relErr := math.Abs(float64(l.P[i]-w)) / float64(w); relErr > 0.01 {
+			t.Errorf("P[%d] = %d, want ≈%d", i, l.P[i], w)
+		}
+	}
+	if l.Max != 100000 {
+		t.Fatalf("Max = %d", l.Max)
+	}
+}
+
+func TestLadderRungOrder(t *testing.T) {
+	h := uniformHistogram(50000, 3)
+	l := LadderOf(h)
+	prev := l.Rung(0)
+	for i := 1; i < NumRungs; i++ {
+		if l.Rung(i) < prev {
+			t.Fatalf("ladder rungs not nondecreasing at %d: %v < %v", i, l.Rung(i), prev)
+		}
+		prev = l.Rung(i)
+	}
+}
+
+func TestLadderLabelsMatchRungs(t *testing.T) {
+	if len(LadderLabels) != NumRungs {
+		t.Fatalf("LadderLabels has %d entries, want %d", len(LadderLabels), NumRungs)
+	}
+	if LadderLabels[0] != "avg" || LadderLabels[6] != "max" {
+		t.Fatalf("labels = %v", LadderLabels)
+	}
+}
+
+func TestLadderString(t *testing.T) {
+	l := LadderOf(uniformHistogram(100, 1000))
+	s := l.String()
+	for _, lbl := range LadderLabels {
+		if !strings.Contains(s, lbl) {
+			t.Fatalf("String() missing %q: %s", lbl, s)
+		}
+	}
+}
+
+func TestSummarizeUniformDevices(t *testing.T) {
+	// 8 identical devices → std 0 at every rung.
+	var ladders []Ladder
+	for i := 0; i < 8; i++ {
+		ladders = append(ladders, LadderOf(uniformHistogram(10000, 5)))
+	}
+	s := Summarize(ladders)
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	for r := 0; r < NumRungs; r++ {
+		if s.Std[r] != 0 {
+			t.Fatalf("identical devices: Std[%d] = %v, want 0", r, s.Std[r])
+		}
+		if s.Min[r] != s.Max[r] || s.Min[r] != s.Mean[r] {
+			t.Fatalf("identical devices: Min/Mean/Max disagree at rung %d", r)
+		}
+	}
+}
+
+func TestSummarizeSpread(t *testing.T) {
+	// Two devices whose maxima differ; std of max rung must reflect it.
+	h1, h2 := NewHistogram(), NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h1.Record(30000)
+		h2.Record(30000)
+	}
+	h1.Record(90000)   // one tail event
+	h2.Record(5000000) // a 5 ms straggler
+	s := Summarize([]Ladder{LadderOf(h1), LadderOf(h2)})
+	if s.Mean[6] != (90000+5000000)/2 {
+		t.Fatalf("Mean[max] = %v", s.Mean[6])
+	}
+	wantStd := (5000000 - 90000) / 2
+	if math.Abs(s.Std[6]-float64(wantStd)) > 1 {
+		t.Fatalf("Std[max] = %v, want %d", s.Std[6], wantStd)
+	}
+	if s.Min[6] != 90000 || s.Max[6] != 5000000 {
+		t.Fatalf("Min/Max[max] = %v/%v", s.Min[6], s.Max[6])
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if w.Std() != 2 {
+		t.Fatalf("Std = %v, want 2", w.Std())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford nonzero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatal("single-sample Welford wrong")
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	var w Welford
+	base := 1e12
+	for i := 0; i < 1000; i++ {
+		w.Add(base + float64(i%2)) // values 1e12 and 1e12+1
+	}
+	if math.Abs(w.Std()-0.5) > 1e-6 {
+		t.Fatalf("Std = %v, want 0.5 (catastrophic cancellation?)", w.Std())
+	}
+}

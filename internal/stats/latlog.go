@@ -1,0 +1,70 @@
+package stats
+
+// Sample is one completion-latency observation: when the I/O completed
+// (nanoseconds of simulated time) and how long it took (nanoseconds).
+// The Fig 10 scatter plot is a sequence of these.
+type Sample struct {
+	At      int64
+	Latency int64
+}
+
+// LatLog collects raw latency samples, like fio's --write_lat_log. The
+// paper notes (footnote 1) that enabling the log on all 64 SSDs perturbed
+// the measurement, so logging carries a per-sample CPU cost that the
+// simulator charges to the recording thread; see the fio package.
+type LatLog struct {
+	samples []Sample
+	limit   int
+	dropped int64
+}
+
+// NewLatLog returns a log retaining at most limit samples (0 = unlimited).
+func NewLatLog(limit int) *LatLog {
+	return &LatLog{limit: limit}
+}
+
+// Add records one sample. Once the limit is reached further samples are
+// counted but not stored.
+func (l *LatLog) Add(at, latency int64) {
+	if l.limit > 0 && len(l.samples) >= l.limit {
+		l.dropped++
+		return
+	}
+	l.samples = append(l.samples, Sample{At: at, Latency: latency})
+}
+
+// Samples returns the stored samples in completion order.
+func (l *LatLog) Samples() []Sample { return l.samples }
+
+// Dropped reports how many samples were discarded due to the limit.
+func (l *LatLog) Dropped() int64 { return l.dropped }
+
+// SpikesAbove returns the samples whose latency exceeds threshold,
+// preserving order. Used to locate the periodic SMART spikes of Fig 10.
+func (l *LatLog) SpikesAbove(threshold int64) []Sample {
+	var out []Sample
+	for _, s := range l.samples {
+		if s.Latency > threshold {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpikeClusters groups spike samples whose completion times are within gap
+// of the previous spike and reports the start time of each cluster. The
+// periodic SMART windows of Fig 10 show up as clusters at a fixed period.
+func (l *LatLog) SpikeClusters(threshold, gap int64) []int64 {
+	var starts []int64
+	last := int64(-1 << 62)
+	for _, s := range l.samples {
+		if s.Latency <= threshold {
+			continue
+		}
+		if s.At-last > gap {
+			starts = append(starts, s.At)
+		}
+		last = s.At
+	}
+	return starts
+}

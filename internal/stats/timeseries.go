@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TimeBucket summarizes the latency samples falling in one time window.
+type TimeBucket struct {
+	Start   int64 // window start, ns
+	Count   int64
+	Max     int64
+	Sum     int64
+	Blocked int64 // samples above a caller-chosen spike threshold
+}
+
+// Mean reports the bucket's mean latency.
+func (b TimeBucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return float64(b.Sum) / float64(b.Count)
+}
+
+// Bucketize folds latency samples into fixed-width time windows spanning
+// [0, horizon). Samples outside the horizon land in the last bucket.
+func Bucketize(samples []Sample, horizon int64, buckets int, spikeThreshold int64) []TimeBucket {
+	if buckets <= 0 || horizon <= 0 {
+		panic("stats: Bucketize needs positive buckets and horizon")
+	}
+	width := horizon / int64(buckets)
+	if width == 0 {
+		width = 1
+	}
+	out := make([]TimeBucket, buckets)
+	for i := range out {
+		out[i].Start = int64(i) * width
+	}
+	for _, s := range samples {
+		i := int(s.At / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= buckets {
+			i = buckets - 1
+		}
+		b := &out[i]
+		b.Count++
+		b.Sum += s.Latency
+		if s.Latency > b.Max {
+			b.Max = s.Latency
+		}
+		if s.Latency > spikeThreshold {
+			b.Blocked++
+		}
+	}
+	return out
+}
+
+// RenderScatter draws an ASCII time×latency scatter of the per-bucket
+// maxima: rows are logarithmic latency bands (top = highest), columns are
+// time buckets. It is how afareport prints Fig 10.
+func RenderScatter(buckets []TimeBucket, bands []int64, bandLabels []string) string {
+	if len(bands) != len(bandLabels) {
+		panic("stats: bands and labels must align")
+	}
+	var sb strings.Builder
+	for r := len(bands) - 1; r >= 0; r-- {
+		fmt.Fprintf(&sb, "%10s |", bandLabels[r])
+		for _, b := range buckets {
+			ch := " "
+			if b.Count > 0 && b.Max >= bands[r] &&
+				(r == len(bands)-1 || b.Max < bands[r+1]) {
+				ch = "*"
+			}
+			sb.WriteString(ch)
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "%10s +%s+\n", "", strings.Repeat("-", len(buckets)))
+	return sb.String()
+}
+
+// DefaultLatencyBands returns log-spaced bands suitable for the scatter:
+// <50µs, 50-100, 100-200, 200-400, 400-800, ≥800µs.
+func DefaultLatencyBands() ([]int64, []string) {
+	return []int64{0, 50_000, 100_000, 200_000, 400_000, 800_000},
+		[]string{"<50µs", "50-100µs", "100-200µs", "200-400µs", "400-800µs", "≥800µs"}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBucketizeCountsAndMaxima(t *testing.T) {
+	samples := []Sample{
+		{At: 0, Latency: 30},
+		{At: 50, Latency: 40},
+		{At: 150, Latency: 700},
+		{At: 250, Latency: 35},
+	}
+	bs := Bucketize(samples, 300, 3, 100)
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %d", len(bs))
+	}
+	if bs[0].Count != 2 || bs[0].Max != 40 {
+		t.Fatalf("bucket0 = %+v", bs[0])
+	}
+	if bs[1].Count != 1 || bs[1].Max != 700 || bs[1].Blocked != 1 {
+		t.Fatalf("bucket1 = %+v", bs[1])
+	}
+	if bs[2].Count != 1 || bs[2].Blocked != 0 {
+		t.Fatalf("bucket2 = %+v", bs[2])
+	}
+	if m := bs[0].Mean(); m != 35 {
+		t.Fatalf("bucket0 mean = %v", m)
+	}
+}
+
+func TestBucketizeClampsOutOfRange(t *testing.T) {
+	bs := Bucketize([]Sample{{At: 999999, Latency: 5}}, 100, 2, 10)
+	if bs[1].Count != 1 {
+		t.Fatal("late sample not clamped into last bucket")
+	}
+}
+
+func TestBucketizeEmptyBucketMean(t *testing.T) {
+	bs := Bucketize(nil, 100, 2, 10)
+	if bs[0].Mean() != 0 {
+		t.Fatal("empty bucket mean nonzero")
+	}
+}
+
+func TestBucketizePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args accepted")
+		}
+	}()
+	Bucketize(nil, 0, 0, 0)
+}
+
+func TestRenderScatterMarksSpikes(t *testing.T) {
+	samples := []Sample{
+		{At: 10, Latency: 30_000},
+		{At: 110, Latency: 580_000}, // spike
+		{At: 210, Latency: 31_000},
+	}
+	bs := Bucketize(samples, 300, 3, 200_000)
+	bands, labels := DefaultLatencyBands()
+	out := RenderScatter(bs, bands, labels)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(bands)+1 {
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	// The 400-800µs row must have a star in column 2 (index 1).
+	var row400 string
+	for _, l := range lines {
+		if strings.Contains(l, "400-800µs") {
+			row400 = l
+		}
+	}
+	body := row400[strings.Index(row400, "|")+1:]
+	if body[1] != '*' {
+		t.Fatalf("spike not in middle column: %q", row400)
+	}
+	var rowLow string
+	for _, l := range lines {
+		if strings.Contains(l, "<50µs") {
+			rowLow = l
+		}
+	}
+	b := rowLow[strings.Index(rowLow, "|")+1:]
+	if b[0] != '*' || b[2] != '*' {
+		t.Fatalf("baseline samples missing: %q", rowLow)
+	}
+	if b[1] != ' ' {
+		t.Fatalf("spike bucket also marked low: %q", rowLow)
+	}
+}
+
+func TestRenderScatterBandMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bands accepted")
+		}
+	}()
+	RenderScatter(nil, []int64{1}, []string{"a", "b"})
+}
