@@ -1,0 +1,157 @@
+// Command afalint enforces the simulator's determinism contract: the
+// property that the same seed always yields the same latency
+// distributions, which every figure and A/B kernel comparison in this
+// reproduction depends on.
+//
+// Usage:
+//
+//	afalint [flags] [patterns]
+//
+//	afalint ./...                 # lint the whole module (the default)
+//	afalint ./internal/sim        # one package
+//	afalint ./internal/...        # a subtree
+//	afalint -rules                # describe the rules and exit
+//	afalint -json ./...           # findings as JSON
+//
+//	# lint a bare directory (e.g. the fixture corpus) as if it were
+//	# the named package; the import path controls rule scoping:
+//	afalint -as repro/internal/sim ./internal/lint/testdata/nogoroutine
+//
+// Findings print as file:line:col with the rule name; the exit status
+// is 0 when clean, 1 when findings exist, and 2 on a usage or load
+// error. A finding is suppressed by annotating the offending line (or
+// the line above) with:
+//
+//	//afalint:allow <rule> [<rule>...] -- <reason>
+//
+// The same rules also run inside `go test ./...` via the self-check
+// test in internal/lint, so the contract cannot regress silently.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		asJSON    = flag.Bool("json", false, "emit findings as a JSON array")
+		listRules = flag.Bool("rules", false, "describe the determinism rules and exit")
+		asPath    = flag.String("as", "", "lint a single directory under this import path (scope override)")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := lint.FindModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(root, modPath)
+
+	var selected []*lint.Package
+	if *asPath != "" {
+		if len(patterns) != 1 || strings.HasSuffix(patterns[0], "...") {
+			fatal(fmt.Errorf("-as requires exactly one directory argument"))
+		}
+		p, err := loader.LoadDir(patterns[0], *asPath)
+		if err != nil {
+			fatal(err)
+		}
+		selected = []*lint.Package{p}
+	} else {
+		pkgs, err := loader.LoadModule()
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range pkgs {
+			if matchesAny(p, patterns, root, modPath, cwd) {
+				selected = append(selected, p)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	findings := lint.Run(selected, lint.AllRules())
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "afalint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "afalint:", err)
+	os.Exit(2)
+}
+
+// matchesAny reports whether package p matches one of the patterns.
+// Supported forms: "./..." and "..." (everything), "dir/..." subtrees,
+// plain directories, and import paths with or without a trailing /...
+func matchesAny(p *lint.Package, patterns []string, root, modPath, cwd string) bool {
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			return true
+		}
+		// Normalize a filesystem-style pattern to an import path.
+		target := pat
+		subtree := false
+		if rest, ok := strings.CutSuffix(target, "/..."); ok {
+			subtree = true
+			target = rest
+		}
+		if strings.HasPrefix(pat, ".") || strings.Contains(pat, string(filepath.Separator)) && !strings.HasPrefix(pat, modPath) {
+			abs, err := filepath.Abs(filepath.Join(cwd, target))
+			if err != nil {
+				continue
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				continue
+			}
+			if rel == "." {
+				target = modPath
+			} else {
+				target = modPath + "/" + filepath.ToSlash(rel)
+			}
+		}
+		if p.Path == target || (subtree && strings.HasPrefix(p.Path, target+"/")) {
+			return true
+		}
+	}
+	return false
+}

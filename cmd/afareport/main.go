@@ -126,7 +126,7 @@ func banner(format string, args ...any) {
 }
 
 func runFigure(n int, o core.ExpOptions) {
-	t0 := time.Now()
+	t0 := time.Now() //afalint:allow wallclock -- wall-clock cost banner, not simulated time
 	switch n {
 	case 6:
 		banner("Fig 6: latency distributions, default configuration")
@@ -169,7 +169,7 @@ func runFigure(n int, o core.ExpOptions) {
 		fmt.Fprintf(os.Stderr, "unknown figure %d (have 6-14)\n", n)
 		os.Exit(2)
 	}
-	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner
 }
 
 func runTable(n int) {
@@ -193,13 +193,13 @@ func runTable(n int) {
 
 func runHeadline(o core.ExpOptions) {
 	banner("Headline: mean/σ of max latency, default vs tuned kernel")
-	t0 := time.Now()
+	t0 := time.Now() //afalint:allow wallclock -- wall-clock cost banner, not simulated time
 	core.WriteHeadline(os.Stdout, core.RunHeadline(o))
-	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner
 }
 
 func runAblation(kind string, o core.ExpOptions) {
-	t0 := time.Now()
+	t0 := time.Now() //afalint:allow wallclock -- wall-clock cost banner, not simulated time
 	switch kind {
 	case "fw":
 		banner("Ablation: firmware housekeeping variants (tuned kernel)")
@@ -251,5 +251,5 @@ func runAblation(kind string, o core.ExpOptions) {
 		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts)\n", kind)
 		os.Exit(2)
 	}
-	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner
 }

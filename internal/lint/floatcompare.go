@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcompareRule bans exact float equality and float map keys in
+// sim-core code. Equality on computed floats depends on evaluation
+// order and intermediate precision (both of which refactors change
+// silently), and float map keys combine that hazard with map-order
+// nondeterminism. Latency arithmetic in the core should stay in
+// integer sim.Duration nanoseconds; genuine sentinel comparisons can
+// be annotated //afalint:allow floatcompare.
+type floatcompareRule struct{}
+
+func (floatcompareRule) Name() string { return "floatcompare" }
+
+func (floatcompareRule) Doc() string {
+	return "no ==/!= on floats and no float map keys in sim-core code"
+}
+
+func (floatcompareRule) Check(p *Package) []Finding {
+	if !isSimCore(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloat(p.typeOf(n.X)) || isFloat(p.typeOf(n.Y)) {
+					out = append(out, p.finding("floatcompare", n.OpPos,
+						"exact %s comparison on floating-point values; compare integer nanoseconds or use an epsilon", n.Op))
+				}
+			case *ast.MapType:
+				if isFloat(p.typeOf(n.Key)) {
+					out = append(out, p.finding("floatcompare", n.Key.Pos(),
+						"float map key; rounding makes membership and iteration unstable"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether t is (or is an alias/named form of) a
+// floating-point or complex type, including untyped float constants.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// globalrandRule bans math/rand and math/rand/v2 everywhere except
+// internal/rng. The stdlib generators are either globally shared
+// (draw-order coupling between components) or not guaranteed
+// bit-stable across Go releases; all stochastic behaviour must flow
+// through the seeded, labelled xoshiro streams in internal/rng.
+type globalrandRule struct{}
+
+func (globalrandRule) Name() string { return "globalrand" }
+
+func (globalrandRule) Doc() string {
+	return "no math/rand or math/rand/v2 outside internal/rng; use the seeded repro/internal/rng streams"
+}
+
+func (globalrandRule) Check(p *Package) []Finding {
+	if strings.HasSuffix(p.Path, "internal/rng") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.finding("globalrand", spec.Pos(),
+					"import of %s; draws are not seed-stable — use repro/internal/rng streams", path))
+			}
+		}
+	}
+	return out
+}

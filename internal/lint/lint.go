@@ -1,0 +1,183 @@
+// Package lint is afalint's rule engine: a pure-stdlib static analyzer
+// that enforces the simulator's determinism contract.
+//
+// The contract (DESIGN.md "Determinism contract") is what makes the
+// reproduction meaningful: the same seed must always yield the same
+// latency distributions, so every figure and A/B kernel comparison is
+// exactly reproducible. The rules mechanically exclude the ways
+// nondeterminism leaks into Go programs:
+//
+//   - wallclock:     no wall-clock reads (time.Now, time.Sleep, ...);
+//     simulated time comes from sim.Engine only.
+//   - globalrand:    no math/rand or math/rand/v2 outside internal/rng;
+//     all stochastic behaviour flows through the seeded,
+//     release-stable xoshiro streams.
+//   - maporder:      no iteration over maps in non-test internal code
+//     unless the keys are collected and sorted first.
+//   - nogoroutine:   no goroutines, channels, select, or sync in the
+//     single-threaded sim-core packages.
+//   - floatcompare:  no ==/!= on floats and no float map keys in
+//     sim-core code.
+//
+// A finding on a given line is suppressed by the directive
+//
+//	//afalint:allow <rule> [<rule>...] [-- reason]
+//
+// placed either on the same line or on the line immediately above.
+// The self-check test in this package runs every rule over the whole
+// module, so `go test ./...` permanently enforces the contract.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule string         // rule name, e.g. "wallclock"
+	Pos  token.Position // file:line:col of the offending node
+	Msg  string         // human-readable explanation
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg, f.Rule)
+}
+
+// Rule is one determinism-contract check. Check receives a loaded
+// package and returns raw findings; the engine applies suppression
+// directives afterwards.
+type Rule interface {
+	Name() string
+	Doc() string
+	Check(p *Package) []Finding
+}
+
+// AllRules returns every rule in canonical order.
+func AllRules() []Rule {
+	return []Rule{
+		wallclockRule{},
+		globalrandRule{},
+		maporderRule{},
+		nogoroutineRule{},
+		floatcompareRule{},
+	}
+}
+
+// AllowDirective is the comment prefix that suppresses findings.
+const AllowDirective = "//afalint:allow"
+
+// Run applies rules to every package, drops suppressed findings, and
+// returns the rest sorted by position then rule.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		allowed := collectAllows(p)
+		for _, r := range rules {
+			for _, f := range r.Check(p) {
+				if allowed.permits(f.Rule, f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// allowKey identifies one (file, line) a directive applies to.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowSet records which rules are allowed on which lines.
+type allowSet map[allowKey]map[string]bool
+
+// permits reports whether rule is suppressed at pos: a directive on the
+// same line or the line immediately above covers it.
+func (a allowSet) permits(rule string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if rules := a[allowKey{pos.Filename, line}]; rules[rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //afalint:allow directive in the package.
+// Everything after the directive is whitespace-split; a finding is
+// suppressed when its rule name appears among the fields (trailing
+// free-text reasons are harmless because they never equal a rule name).
+func collectAllows(p *Package) allowSet {
+	out := allowSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := allowKey{pos.Filename, pos.Line}
+				if out[key] == nil {
+					out[key] = map[string]bool{}
+				}
+				for _, name := range strings.Fields(rest) {
+					out[key][name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// finding builds a Finding for a node position in p.
+func (p *Package) finding(rule string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Rule: rule, Pos: p.Fset.Position(pos), Msg: fmt.Sprintf(format, args...)}
+}
+
+// isInternal reports whether the package lives under internal/.
+func isInternal(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+// simCorePackages are the single-threaded simulator-core packages where
+// the strictest rules (nogoroutine, floatcompare) apply: everything that
+// executes inside the discrete-event loop.
+var simCorePackages = map[string]bool{
+	"sim":    true,
+	"sched":  true,
+	"nvme":   true,
+	"nand":   true,
+	"pcie":   true,
+	"fio":    true,
+	"raid":   true,
+	"kernel": true,
+	"irq":    true,
+}
+
+// isSimCore reports whether path is one of the sim-core packages
+// (internal/<name> with <name> in the sim-core set).
+func isSimCore(path string) bool {
+	if !isInternal(path) {
+		return false
+	}
+	rest := path[strings.LastIndex(path, "internal/")+len("internal/"):]
+	return simCorePackages[rest]
+}

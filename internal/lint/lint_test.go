@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// fixtureCases maps each fixture directory to the import path it is
+// loaded under; the path is what puts the files in (or out of) each
+// rule's scope.
+var fixtureCases = []struct {
+	dir  string
+	path string // synthetic import path controlling rule scope
+}{
+	{"wallclock", "repro/internal/fixture"},
+	{"globalrand", "repro/internal/fixture"},
+	{"maporder", "repro/internal/fixture"},
+	{"nogoroutine", "repro/internal/sim"},
+	{"floatcompare", "repro/internal/sim"},
+}
+
+// wantMarker matches expectation comments in fixtures: a finding of
+// the named rule on the same line.
+var wantMarker = regexp.MustCompile(`want:(\w+)`)
+
+// loadFixture type-checks one testdata directory under the given
+// import path and fails the test on any load or type error — a fixture
+// that does not compile would silently weaken the type-driven rules.
+func loadFixture(t *testing.T, dir, path string) *Package {
+	t.Helper()
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewLoader(root, modPath).LoadDir(filepath.Join("testdata", dir), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("fixture type error: %v", terr)
+	}
+	return p
+}
+
+// expectations collects the (line, rule) pairs announced by want:
+// markers in the package's comments.
+func expectations(p *Package) []string {
+	var out []string
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.File(f.Pos()).Name())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantMarker.FindAllStringSubmatch(c.Text, -1) {
+					line := p.Fset.Position(c.Pos()).Line
+					out = append(out, fmt.Sprintf("%s:%d %s", name, line, m[1]))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFixtures runs every rule over each fixture package and asserts
+// the exact set of finding positions against the want: markers,
+// covering positive, suppressed, exempt, and out-of-scope cases at
+// once (a fixture must not trip any rule it has no marker for).
+func TestFixtures(t *testing.T) {
+	for _, c := range fixtureCases {
+		t.Run(c.dir, func(t *testing.T) {
+			p := loadFixture(t, c.dir, c.path)
+			var got []string
+			for _, f := range Run([]*Package{p}, AllRules()) {
+				got = append(got, fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule))
+			}
+			sort.Strings(got)
+			want := expectations(p)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestScopeExclusions re-loads fixtures under paths outside each
+// rule's scope and expects silence: nogoroutine and floatcompare only
+// police the sim-core packages, and internal/rng is the one place
+// math/rand imports are legitimate.
+func TestScopeExclusions(t *testing.T) {
+	cases := []struct {
+		dir  string
+		path string
+	}{
+		{"nogoroutine", "repro/internal/stats"}, // not a sim-core package
+		{"floatcompare", "repro/internal/stats"},
+		{"nogoroutine", "repro/cmd/tool"}, // not even internal
+		{"globalrand", "repro/internal/rng"},
+	}
+	for _, c := range cases {
+		t.Run(c.dir+"@"+c.path, func(t *testing.T) {
+			p := loadFixture(t, c.dir, c.path)
+			if got := Run([]*Package{p}, AllRules()); len(got) != 0 {
+				t.Errorf("expected no findings for %s loaded as %s, got %v", c.dir, c.path, got)
+			}
+		})
+	}
+}
+
+// TestMaporderAppliesToCmd documents the inverse scope decision: the
+// maporder contract covers internal/ only, so the same fixture loaded
+// as a cmd package is clean.
+func TestMaporderAppliesToCmd(t *testing.T) {
+	p := loadFixture(t, "maporder", "repro/cmd/tool")
+	for _, f := range Run([]*Package{p}, AllRules()) {
+		if f.Rule == "maporder" {
+			t.Errorf("maporder fired outside internal/: %v", f)
+		}
+	}
+}
+
+// TestFindingString pins the file:line:col rendering the CLI prints
+// and the acceptance criteria rely on.
+func TestFindingString(t *testing.T) {
+	p := loadFixture(t, "globalrand", "repro/internal/fixture")
+	fs := Run([]*Package{p}, AllRules())
+	if len(fs) != 1 {
+		t.Fatalf("want exactly 1 finding, got %v", fs)
+	}
+	want := regexp.MustCompile(`globalrand\.go:6:2: import of math/rand.*\[globalrand\]$`)
+	if !want.MatchString(fs[0].String()) {
+		t.Errorf("finding rendered as %q, want match for %v", fs[0], want)
+	}
+}
+
+// TestRuleMetadata keeps every rule addressable by the suppression
+// directive: non-empty unique names and docs.
+func TestRuleMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range AllRules() {
+		if r.Name() == "" || r.Doc() == "" {
+			t.Errorf("rule %T has empty metadata", r)
+		}
+		if seen[r.Name()] {
+			t.Errorf("duplicate rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected 5 rules, have %d", len(seen))
+	}
+}

@@ -1,0 +1,276 @@
+// Package loading for afalint. Pure stdlib: packages are discovered by
+// walking the module tree, parsed with go/parser, and type-checked with
+// go/types. Module-local imports are resolved by recursively
+// type-checking the imported directory; standard-library imports are
+// compiled from GOROOT source (importer.ForCompiler "source"), so the
+// analyzer needs no build cache, network, or third-party dependency.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one directory of Go source, parsed and best-effort
+// type-checked. Files contains every file in the directory — library,
+// in-package test, and external (_test package) test files; rules that
+// exclude tests consult IsTestFile.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/sim"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Info is the merged type information for all files. Entries may be
+	// missing when the package has type errors; rules degrade to
+	// syntax-only checks in that case.
+	Info *types.Info
+	// TypeErrors collects type-check diagnostics (not lint findings).
+	TypeErrors []error
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.File(f.Pos()).Name(), "_test.go")
+}
+
+// typeOf returns the type of e, or nil when type information is
+// unavailable.
+func (p *Package) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Loader discovers, parses, and type-checks packages of one module.
+type Loader struct {
+	Root    string // absolute module root (directory holding go.mod)
+	ModPath string // module path from go.mod, e.g. "repro"
+
+	fset      *token.FileSet
+	std       types.ImporterFrom
+	imported  map[string]*types.Package
+	importing map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:      root,
+		ModPath:   modPath,
+		fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		imported:  map[string]*types.Package{},
+		importing: map[string]bool{},
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule discovers every package directory under the module root
+// (skipping testdata, vendor, and hidden directories) and loads each.
+// The result is sorted by import path, so runs are deterministic.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.Root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as the
+// package with the given import path. Library and in-package test files
+// are checked together; external (_test package) files are checked as
+// their own unit against the same merged Info.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset}
+	var lib, xtest []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			lib = append(lib, f)
+		}
+	}
+	p.Info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	cfg := &types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check errors are accumulated through cfg.Error; a package with type
+	// errors still gets partial Info and syntax-level rules still run.
+	if len(lib) > 0 {
+		cfg.Check(path, l.fset, lib, p.Info)
+	}
+	if len(xtest) > 0 {
+		cfg.Check(path+"_test", l.fset, xtest, p.Info)
+	}
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages are
+// type-checked from source (library files only, as an importer would
+// see them); everything else is delegated to the GOROOT source
+// importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return l.std.ImportFrom(path, dir, mode)
+	}
+	if tp, ok := l.imported[path]; ok {
+		return tp, nil
+	}
+	if l.importing[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.importing[path] = true
+	defer func() { l.importing[path] = false }()
+
+	pkgDir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
+	names, err := goFilesIn(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(pkgDir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := &types.Config{Importer: l}
+	tp, err := cfg.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking import %s: %w", path, err)
+	}
+	l.imported[path] = tp
+	return tp, nil
+}
+
+// goFilesIn lists the .go files directly inside dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// importNames returns the local names under which f imports path
+// (usually one: the package's base name or an explicit alias).
+func importNames(f *ast.File, path string) map[string]bool {
+	out := map[string]bool{}
+	for _, spec := range f.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		switch {
+		case spec.Name != nil:
+			out[spec.Name.Name] = true
+		default:
+			out[p[strings.LastIndex(p, "/")+1:]] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderRule bans ranging over maps in non-test internal code: Go
+// randomizes map iteration order per run, so any map range whose body
+// has order-dependent effects (appending to output, drawing from an
+// rng stream, scheduling events) silently breaks reproducibility.
+//
+// The canonical fix is exempted automatically: a loop that only
+// collects the map's keys into a slice which is subsequently passed to
+// sort.* or slices.Sort* in the same block is recognized as
+// deterministic and not flagged. Loops whose bodies are provably
+// order-insensitive (commutative sums, results sorted before return)
+// can be annotated //afalint:allow maporder with a reason.
+//
+// Test files get a narrower check: only ranges over map *literals* are
+// flagged (always avoidable — iterate a slice instead; this is the
+// internal/sched/autoisolate_test.go bug class), because assertion
+// loops over result maps are common and fail loudly rather than skew
+// results.
+type maporderRule struct{}
+
+func (maporderRule) Name() string { return "maporder" }
+
+func (maporderRule) Doc() string {
+	return "no range over a map in non-test internal code unless keys are collected and sorted first (tests: no map-literal ranges)"
+}
+
+func (maporderRule) Check(p *Package) []Finding {
+	if !isInternal(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		literalOnly := p.IsTestFile(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				stmts = n.List
+			case *ast.CaseClause:
+				stmts = n.Body
+			case *ast.CommClause:
+				stmts = n.Body
+			default:
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !p.rangesOverMap(rs) {
+					continue
+				}
+				if literalOnly && !isMapLiteral(rs.X) {
+					continue
+				}
+				if isSortedKeyCollect(rs, stmts[i+1:]) {
+					continue
+				}
+				out = append(out, p.finding("maporder", rs.For,
+					"map iteration order is nondeterministic; range a sorted key slice instead"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rangesOverMap reports whether rs iterates a map. Type information is
+// authoritative; when it is unavailable (type errors), map composite
+// literals are still caught syntactically.
+func (p *Package) rangesOverMap(rs *ast.RangeStmt) bool {
+	if t := p.typeOf(rs.X); t != nil {
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	return isMapLiteral(rs.X)
+}
+
+// isMapLiteral reports whether e is a map composite literal.
+func isMapLiteral(e ast.Expr) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	_, ok = cl.Type.(*ast.MapType)
+	return ok
+}
+
+// isSortedKeyCollect recognizes the canonical deterministic pattern:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)   // or sort.Slice / slices.Sort*, before any other use
+//
+// rs must collect only keys, and a following statement in the same
+// block must sort the destination slice before anything else touches it.
+func isSortedKeyCollect(rs *ast.RangeStmt, following []ast.Stmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if a0, ok := call.Args[0].(*ast.Ident); !ok || a0.Name != dst.Name {
+		return false
+	}
+	if a1, ok := call.Args[1].(*ast.Ident); !ok || a1.Name != key.Name {
+		return false
+	}
+	// The statement immediately after the loop must be the sort; anything
+	// else in between could observe the unsorted slice.
+	if len(following) == 0 {
+		return false
+	}
+	es, ok := following[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok || len(sortCall.Args) == 0 {
+		return false
+	}
+	sel, ok := sortCall.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+		return false
+	}
+	arg, ok := sortCall.Args[0].(*ast.Ident)
+	return ok && arg.Name == dst.Name
+}

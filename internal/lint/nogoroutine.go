@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// nogoroutineRule bans concurrency in the sim-core packages. The
+// discrete-event engine is single-threaded by design — determinism
+// comes from the (time, seq) total order of its event heap — so any
+// goroutine, channel, select, or sync primitive inside the core either
+// does nothing or introduces scheduling races into results.
+type nogoroutineRule struct{}
+
+func (nogoroutineRule) Name() string { return "nogoroutine" }
+
+func (nogoroutineRule) Doc() string {
+	return "no goroutines, channels, select, or sync/sync-atomic in the single-threaded sim-core packages"
+}
+
+func (nogoroutineRule) Check(p *Package) []Finding {
+	if !isSimCore(p.Path) {
+		return nil
+	}
+	var out []Finding
+	add := func(pos token.Pos, what string) {
+		out = append(out, p.finding("nogoroutine", pos,
+			"%s in sim-core package %s; the simulator is single-threaded by contract", what, p.Path))
+	}
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				if path == "sync" || path == "sync/atomic" {
+					add(spec.Pos(), "import of "+path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				add(n.Pos(), "go statement")
+			case *ast.SendStmt:
+				add(n.Arrow, "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					add(n.OpPos, "channel receive")
+				}
+			case *ast.SelectStmt:
+				add(n.Pos(), "select statement")
+			case *ast.ChanType:
+				add(n.Pos(), "channel type")
+			}
+			return true
+		})
+	}
+	return out
+}

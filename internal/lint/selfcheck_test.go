@@ -1,0 +1,41 @@
+package lint
+
+import "testing"
+
+// TestRepoObeysDeterminismContract runs every afalint rule over the
+// entire module. Because this test is part of the tier-1 suite
+// (`go test ./...`), the determinism contract — no wall clock, no
+// global rand, no map-order dependence, no concurrency or float
+// equality in the sim core — is enforced on every verification run,
+// not only when someone remembers to invoke the CLI. Re-introducing,
+// say, a time.Now() in internal/sim or an unsorted map range in
+// internal/trace fails this test with the exact file:line.
+func TestRepoObeysDeterminismContract(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, modPath).LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("only %d packages discovered under %s; loader is missing the tree", len(pkgs), root)
+	}
+	for _, p := range pkgs {
+		// A package that fails to type-check would silently disable the
+		// type-driven rules (maporder, floatcompare) for its files, so
+		// type errors are themselves contract violations.
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, terr)
+		}
+	}
+	findings := Run(pkgs, AllRules())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("afalint: %d determinism-contract finding(s); fix the site or annotate it "+
+			"with //afalint:allow <rule> -- <reason> (see DESIGN.md, \"Determinism contract\")", len(findings))
+	}
+}

@@ -1,0 +1,40 @@
+// Fixture for the floatcompare rule: ==/!= over float64, float32, and
+// untyped constants, float map keys in type and make expressions, an
+// annotated sentinel, and the epsilon / integer comparisons that must
+// stay clean.
+package fixture
+
+func equal(a, b float64) bool {
+	return a == b // want:floatcompare
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want:floatcompare
+}
+
+func againstLiteral(a float64) bool {
+	return a == 0 // want:floatcompare
+}
+
+type table struct {
+	weights map[float64]int // want:floatcompare
+}
+
+func makeTable() map[float32]bool { // want:floatcompare
+	return make(map[float32]bool) // want:floatcompare
+}
+
+func suppressed(x float64) bool {
+	return x == 0 //afalint:allow floatcompare -- exact sentinel, never computed
+}
+
+// epsilon is the sanctioned way to compare computed floats.
+func epsilon(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func ints(a, b int) bool { return a == b }

@@ -1,0 +1,12 @@
+// Fixture for the globalrand rule: both banned import paths, one
+// flagged and one suppressed, including an aliased import.
+package fixture
+
+import (
+	"math/rand"       // want:globalrand
+	v2 "math/rand/v2" //afalint:allow globalrand -- fixture: sanctioned shim
+)
+
+func draws() int {
+	return rand.Intn(6) + v2.IntN(6)
+}

@@ -1,0 +1,21 @@
+// Test files get the narrower maporder check: ranging a map-typed
+// variable is tolerated (assertion loops fail loudly, not silently),
+// but ranging a map literal — the internal/sched/autoisolate_test.go
+// bug class — is still flagged because a slice always works there.
+package fixture
+
+func testOnlyRange(m map[int]int) int {
+	n := 0
+	for range m { // tolerated in test files
+		n++
+	}
+	return n
+}
+
+func literalRangeInTest() int {
+	n := 0
+	for cpu := range map[int]int{1: 10, 2: 20} { // want:maporder
+		n += cpu
+	}
+	return n
+}

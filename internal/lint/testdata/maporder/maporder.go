@@ -1,0 +1,65 @@
+// Fixture for the maporder rule: flagged value iteration, flagged map
+// literal, the exempt collect-then-sort idiom, a near-miss where the
+// unsorted slice is observed before sorting, an annotated commutative
+// loop, and an ordered slice range that must stay clean.
+package fixture
+
+import "sort"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want:maporder
+		total += v
+	}
+	return total
+}
+
+func literal() {
+	for k := range map[int]bool{1: true} { // want:maporder
+		_ = k
+	}
+}
+
+// sortedCollect is the canonical deterministic pattern and is exempted
+// without an annotation.
+func sortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// touchedBeforeSort observes the unsorted slice between collection and
+// sort, so the exemption must not apply.
+func touchedBeforeSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want:maporder
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func suppressed(m map[string]int) int {
+	largest := 0
+	for _, v := range m { //afalint:allow maporder -- commutative max, order-insensitive
+		if v > largest {
+			largest = v
+		}
+	}
+	return largest
+}
+
+// sliceRange is ordered iteration and must not be flagged.
+func sliceRange(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

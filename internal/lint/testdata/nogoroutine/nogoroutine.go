@@ -1,0 +1,30 @@
+// Fixture for the nogoroutine rule: sync import, channel types, go
+// statement, send, receive, select, plus an annotated escape hatch and
+// a unary deref that must not be confused with a receive.
+package fixture
+
+import "sync" // want:nogoroutine
+
+type mailbox struct {
+	mu sync.Mutex
+	ch chan int // want:nogoroutine
+}
+
+func bad(m *mailbox) int {
+	go leak(m.ch) // want:nogoroutine
+	m.ch <- 1     // want:nogoroutine
+	v := <-m.ch   // want:nogoroutine
+	select {      // want:nogoroutine
+	default:
+	}
+	m.mu.Lock()
+	return v
+}
+
+func leak(ch chan int) {} // want:nogoroutine
+
+//afalint:allow nogoroutine -- fixture: sanctioned escape hatch
+var done chan struct{}
+
+// deref uses a non-arrow unary operator and must stay clean.
+func deref(p *int) int { return *p }

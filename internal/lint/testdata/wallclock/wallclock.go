@@ -1,0 +1,44 @@
+// Fixture for the wallclock rule: every banned time-package call, the
+// deterministic time APIs that must stay allowed, both suppression
+// forms, and a shadowed identifier that must not be mistaken for the
+// package.
+package fixture
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()                 // want:wallclock
+	time.Sleep(time.Millisecond)     // want:wallclock
+	_ = time.Tick(time.Second)       // want:wallclock
+	_ = time.NewTicker(time.Second)  // want:wallclock
+	_ = time.NewTimer(time.Second)   // want:wallclock
+	_ = time.After(time.Second)      // want:wallclock
+	time.AfterFunc(time.Second, nil) // want:wallclock
+	_ = time.Until(t0)               // want:wallclock
+	return time.Since(t0)            // want:wallclock
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //afalint:allow wallclock -- fixture: sanctioned self-timing
+}
+
+func suppressedLineAbove() time.Duration {
+	//afalint:allow wallclock
+	return time.Since(time.Time{})
+}
+
+// durationMath uses only the deterministic parts of package time.
+func durationMath() time.Duration {
+	d := 3 * time.Second
+	return d.Round(time.Millisecond)
+}
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+// shadowed calls Now on a local variable named time, not the package.
+func shadowed() int {
+	time := clock{}
+	return time.Now()
+}

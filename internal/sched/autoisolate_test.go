@@ -56,13 +56,15 @@ func TestAutoIsolateKeepsHogsOffIOCPUs(t *testing.T) {
 		h := newHog(s, "hog", nil)
 		h.wake()
 	}
-	before1, before2, before3 := s.CPU(1).BusyTime(), s.CPU(2).BusyTime(), s.CPU(3).BusyTime()
+	before := []sim.Duration{s.CPU(1).BusyTime(), s.CPU(2).BusyTime(), s.CPU(3).BusyTime()}
 	eng.RunUntil(sim.Time(250 * sim.Millisecond))
 
 	// The I/O CPUs' extra busy time must be only their own I/O bursts
-	// (< 20% utilization), not hog time.
-	for cpu, before := range map[int]sim.Duration{1: before1, 2: before2, 3: before3} {
-		extra := s.CPU(cpu).BusyTime() - before
+	// (< 20% utilization), not hog time. Iterate a slice, not a map
+	// literal: map order is nondeterministic (afalint's maporder rule).
+	for i, b := range before {
+		cpu := i + 1
+		extra := s.CPU(cpu).BusyTime() - b
 		if extra > 60*sim.Millisecond { // 200ms window; I/O alone is ~25ms
 			t.Fatalf("cpu(%d) ran %v in 200ms; hogs were placed on an I/O CPU", cpu, extra)
 		}

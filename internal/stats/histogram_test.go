@@ -2,10 +2,11 @@ package stats
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/rng"
 )
 
 func TestBucketRoundTrip(t *testing.T) {
@@ -91,10 +92,10 @@ func TestQuantileExactRegion(t *testing.T) {
 
 func TestQuantileRelativeError(t *testing.T) {
 	h := NewHistogram()
-	r := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	vals := make([]int64, 0, 100000)
 	for i := 0; i < 100000; i++ {
-		v := int64(r.ExpFloat64()*30000) + 25000 // latency-like
+		v := int64(r.Exp(30000)) + 25000 // latency-like
 		vals = append(vals, v)
 		h.Record(v)
 	}

@@ -9,7 +9,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -103,13 +105,14 @@ func (t *Tracer) ForeignTasksOn(cpus []int, workloadPrefix string) []ForeignTask
 		inSet[c] = true
 	}
 	var out []ForeignTask
-	for name, percpu := range t.dispatchCount {
+	for _, name := range sortedKeys(t.dispatchCount) {
 		if strings.HasPrefix(name, workloadPrefix) {
 			continue
 		}
-		for cpu, n := range percpu {
+		percpu := t.dispatchCount[name]
+		for _, cpu := range sortedKeys(percpu) {
 			if inSet[cpu] {
-				out = append(out, ForeignTask{Task: name, CPU: cpu, Dispatches: n})
+				out = append(out, ForeignTask{Task: name, CPU: cpu, Dispatches: percpu[cpu]})
 			}
 		}
 	}
@@ -141,11 +144,13 @@ func (m MisroutedVector) String() string {
 // Section IV-D analysis.
 func (t *Tracer) MisroutedVectors() []MisroutedVector {
 	var out []MisroutedVector
-	for ssd, qs := range t.irqCount {
-		for q, cs := range qs {
-			for cpu, n := range cs {
+	for _, ssd := range sortedKeys(t.irqCount) {
+		qs := t.irqCount[ssd]
+		for _, q := range sortedKeys(qs) {
+			cs := qs[q]
+			for _, cpu := range sortedKeys(cs) {
 				if cpu != q {
-					out = append(out, MisroutedVector{SSD: ssd, Queue: q, ExecutedOn: cpu, Occurrences: n})
+					out = append(out, MisroutedVector{SSD: ssd, Queue: q, ExecutedOn: cpu, Occurrences: cs[cpu]})
 				}
 			}
 		}
@@ -169,9 +174,9 @@ func (t *Tracer) RemoteFraction() float64 {
 		return 0
 	}
 	var remote int64
-	for _, qs := range t.irqCount {
-		for q, cs := range qs {
-			for cpu, n := range cs {
+	for _, qs := range t.irqCount { //afalint:allow maporder -- commutative sum, order-insensitive
+		for q, cs := range qs { //afalint:allow maporder -- commutative sum
+			for cpu, n := range cs { //afalint:allow maporder -- commutative sum
 				if cpu != q {
 					remote += n
 				}
@@ -179,4 +184,15 @@ func (t *Tracer) RemoteFraction() float64 {
 		}
 	}
 	return float64(remote) / float64(t.deliveries)
+}
+
+// sortedKeys returns m's keys in ascending order, so callers iterate
+// maps deterministically (the maporder contract).
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { // exempt from maporder: keys are sorted immediately below
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }

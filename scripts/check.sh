@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Extended tier-1 gate: everything CI needs to trust a change.
+#
+#   build     — the module compiles;
+#   vet       — stdlib static checks;
+#   afalint   — the determinism contract (DESIGN.md §5): no wall clock,
+#               no global rand, no map-order dependence, no concurrency
+#               or float equality in the sim core;
+#   race test — full suite under the race detector (the sim is
+#               single-threaded by contract, so this must be silent).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go run ./cmd/afalint ./...
+go test -race ./...
