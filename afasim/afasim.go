@@ -23,6 +23,8 @@ package afasim
 
 import (
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/raid"
 	"repro/internal/sim"
 )
 
@@ -58,6 +60,26 @@ type (
 	Headline = core.Headline
 )
 
+// Fault injection and host-side tolerance (see DESIGN.md §6).
+type (
+	// FaultPlan is a fleet-wide fault schedule (per-SSD Profiles).
+	FaultPlan = fault.Plan
+	// FaultProfile is one SSD's fault model.
+	FaultProfile = fault.Profile
+	// FaultWindow is a timed span of a fault condition.
+	FaultWindow = fault.Window
+	// FaultEvent is one failure-trace entry.
+	FaultEvent = fault.Event
+	// FaultInjector applies a plan and records the failure trace.
+	FaultInjector = fault.Injector
+	// RAIDTolerance configures degraded reads and hedged reads.
+	RAIDTolerance = raid.Tolerance
+	// FaultRun is one arm of the degraded-mode ablation.
+	FaultRun = core.FaultRun
+	// RecoveryResult is the drive drop-out/recovery time series.
+	RecoveryResult = core.RecoveryResult
+)
+
 // System construction and measurement.
 var (
 	NewSystem       = core.NewSystem
@@ -66,14 +88,26 @@ var (
 
 // The paper's tuning ladder (Section IV) and the Section VI prototypes.
 var (
-	Default     = core.Default
-	CHRT        = core.CHRT
-	Isolcpus    = core.Isolcpus
-	IRQAffinity = core.IRQAffinity
-	ExpFirmware = core.ExpFirmware
-	FutureSched = core.FutureSched
-	FutureIRQ   = core.FutureIRQ
-	FutureBoth  = core.FutureBoth
+	Default        = core.Default
+	CHRT           = core.CHRT
+	Isolcpus       = core.Isolcpus
+	IRQAffinity    = core.IRQAffinity
+	ExpFirmware    = core.ExpFirmware
+	FutureSched    = core.FutureSched
+	FutureIRQ      = core.FutureIRQ
+	FutureBoth     = core.FutureBoth
+	FaultTolerance = core.FaultTolerance
+)
+
+// Fault-injection constructors and experiments.
+var (
+	NewFaultInjector     = fault.NewInjector
+	MergeFaultPlans      = fault.Merge
+	PeriodicStalls       = fault.PeriodicStalls
+	DefaultRAIDTolerance = raid.DefaultTolerance
+	DemoFaultPlan        = core.DemoFaultPlan
+	RunFaultAblation     = core.RunFaultAblation
+	RunRecoverySeries    = core.RunRecoverySeries
 )
 
 // Figure and table reproductions.
@@ -111,4 +145,6 @@ var (
 	WriteDistributionJSON  = core.WriteDistributionJSON
 	WriteDistributionCSV   = core.WriteDistributionCSV
 	WriteFig10CSV          = core.WriteFig10CSV
+	WriteFaultAblation     = core.WriteFaultAblation
+	WriteRecoverySeries    = core.WriteRecoverySeries
 )

@@ -16,7 +16,11 @@
 //	afareport -ablate used    # FOB vs used (non-FOB) state, the future-work study
 //	afareport -ablate future  # §VI prototypes: auto-isolating scheduler, affine balancer
 //	afareport -ablate coalesce# NVMe interrupt coalescing vs the interrupt storm
+//	afareport -ablate faults  # clean vs faulted vs faulted+tolerant (timeouts, degraded reads, hedging)
+//	afareport -ablate recovery# drive drop-out/recovery time series under tolerance
 //	afareport -all            # everything
+//
+// -ablation is accepted as an alias for -ablate.
 //
 // -runtime scales fidelity: the default 2 s is quick; pass 120s for the
 // paper's full-length runs (no time compression of rare events).
@@ -40,7 +44,8 @@ func main() {
 		fig      = flag.String("fig", "", "figure number to regenerate (6-14)")
 		table    = flag.Int("table", 0, "table number to regenerate (1 or 2)")
 		headline = flag.Bool("headline", false, "check the abstract's ×8/×400 claim")
-		ablate   = flag.String("ablate", "", "ablation: fw | poll | used")
+		ablate   = flag.String("ablate", "", "ablation: fw | poll | used | future | coalesce | tail | pts | faults | recovery")
+		ablation = flag.String("ablation", "", "alias for -ablate")
 		all      = flag.Bool("all", false, "regenerate everything")
 		runtime  = flag.Duration("runtime", 2*time.Second, "simulated runtime per FIO instance (paper: 120s)")
 		seed     = flag.Uint64("seed", 2018, "experiment seed")
@@ -49,6 +54,9 @@ func main() {
 		format   = flag.String("format", "text", "output format for figure data: text | json | csv")
 	)
 	flag.Parse()
+	if *ablate == "" {
+		*ablate = *ablation
+	}
 
 	o := core.ExpOptions{
 		Runtime:  sim.Duration(runtime.Nanoseconds()),
@@ -66,7 +74,7 @@ func main() {
 		runTable(1)
 		runTable(2)
 		runHeadline(o)
-		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts"} {
+		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts", "faults", "recovery"} {
 			runAblation(a, o)
 		}
 		return
@@ -247,8 +255,14 @@ func runAblation(kind string, o core.ExpOptions) {
 		core.WriteComparisonTable(os.Stdout, []core.Distribution{off.Dist, on.Dist})
 		fmt.Printf("interrupts/IO: %.2f → %.2f\n",
 			float64(off.Interrupts)/float64(off.IOs), float64(on.Interrupts)/float64(on.IOs))
+	case "faults":
+		banner("Extension: degraded mode — clean vs faulted vs faulted+tolerant stripe")
+		core.WriteFaultAblation(os.Stdout, core.RunFaultAblation(o))
+	case "recovery":
+		banner("Extension: drive drop-out and recovery under the tolerance stack")
+		core.WriteRecoverySeries(os.Stdout, core.RunRecoverySeries(o))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts)\n", kind)
+		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts, faults, recovery)\n", kind)
 		os.Exit(2)
 	}
 	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner

@@ -1,0 +1,69 @@
+// Chaos demonstrates the fault-injection subsystem end to end: a striped
+// client runs over an 8-wide data stripe plus a parity drive while one
+// stripe member is dropped from the fabric mid-run and hot-replugged
+// later. With the tolerance stack armed — kernel per-command timeouts,
+// RAID degraded reads, and hedged reads at the observed p99 — the
+// client's latency ladder holds through the outage: requests are served
+// by parity reconstruction at hedge latency instead of hanging on a dead
+// device.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/raid"
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		runtime = 500 * sim.Millisecond
+		width   = core.FaultStripeWidth // data members 0..7, parity on 8
+		victim  = 0
+	)
+	dropAt := sim.Time(0).Add(runtime / 4)
+	recoverAt := sim.Time(0).Add(3 * runtime / 4)
+
+	plan := fault.Plan{Profiles: []fault.Profile{
+		{SSD: victim, DropAt: dropAt, RecoverAt: recoverAt},
+	}}
+	cfg := core.FaultTolerance()
+	sys := core.NewSystem(core.Options{
+		NumSSDs: 16, Seed: 7, Config: cfg, FaultPlan: &plan,
+	})
+
+	stripe := make([]int, width)
+	for i := range stripe {
+		stripe[i] = i
+	}
+	res := raid.Run(sys.Eng, sys.Kernel, []raid.ClientSpec{{
+		Name: "chaos", Stripe: stripe, CPU: sys.Host.WorkloadCPUs()[0],
+		Runtime: runtime, Class: cfg.FIOClass, RTPrio: cfg.FIORTPrio,
+		Tol: raid.DefaultTolerance(width), Seed: 7,
+	}})[0]
+
+	fmt.Printf("chaos run: nvme%d offline %.0f–%.0f ms of a %.0f ms run\n\n",
+		victim, float64(dropAt)/1e6, float64(recoverAt)/1e6, float64(runtime)/1e6)
+	fmt.Printf("striped-request ladder: %v\n\n", res.Ladder)
+	fmt.Printf("requests=%d failed=%d hedged=%d hedge-wins=%d degraded=%d late-subios=%d\n",
+		res.Requests, res.FailedRequests, res.HedgedReads, res.HedgeWins,
+		res.DegradedReads, res.LateSubIOs)
+	io := sys.Kernel.IOStats()
+	fmt.Printf("kernel: timeouts=%d aborts=%d retries=%d exhausted=%d late-cqes=%d\n\n",
+		io.Timeouts, io.Aborts, io.Retries, io.Exhausted, io.LateCompletions)
+	fmt.Printf("failure trace:\n%s\n", sys.Faults.TraceString())
+
+	if res.FailedRequests > 0 {
+		fmt.Println("FAILED: requests were lost during the outage")
+		os.Exit(1)
+	}
+	if res.HedgeWins == 0 {
+		fmt.Println("FAILED: the hedge never served a request")
+		os.Exit(1)
+	}
+	fmt.Println("the array rode through the outage: zero failed requests,")
+	fmt.Println("worst case bounded by the hedge, ladder restored after replug.")
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fio"
 	"repro/internal/nvme"
 	"repro/internal/sim"
@@ -25,11 +26,17 @@ const (
 )
 
 func main() {
-	sys := core.NewSystem(core.Options{NumSSDs: 64, Seed: 77, Config: core.ExpFirmware()})
+	// The slow bin is a fault.Profile: the injector scales the drive's NAND
+	// read time at boot and records the imposition in the failure trace.
+	plan := fault.Plan{Profiles: []fault.Profile{
+		{SSD: slowDrive, ReadSlowdown: 1.35},
+	}}
+	sys := core.NewSystem(core.Options{
+		NumSSDs: 64, Seed: 77, Config: core.ExpFirmware(), FaultPlan: &plan,
+	})
 
-	// Inject the faults before the run.
-	sys.SSDs[slowDrive].Flash.Timing.ReadPage =
-		sim.Duration(float64(sys.SSDs[slowDrive].Flash.Timing.ReadPage) * 1.35)
+	// The noisy drive is not a fault but a firmware build difference, so it
+	// goes through the firmware API.
 	fw := nvme.DefaultFirmware()
 	fw.SMARTPeriod = 100 * sim.Millisecond
 	sys.SSDs[noisyDrive].SetFirmware(fw)

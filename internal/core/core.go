@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/irq"
 	"repro/internal/kernel"
 	"repro/internal/nand"
@@ -54,6 +55,10 @@ type Config struct {
 	// Coalesce enables NVMe interrupt coalescing (extension; see
 	// kernel.Coalescing).
 	Coalesce kernel.Coalescing
+	// Timeout arms the host's per-command timeout/retry/abort machinery
+	// (extension; see kernel.TimeoutPolicy). Zero means commands wait
+	// forever, as on an untuned host.
+	Timeout kernel.TimeoutPolicy
 }
 
 // Default is the Section IV-A stock configuration.
@@ -92,6 +97,17 @@ func ExpFirmware() Config {
 	c := IRQAffinity()
 	c.Name = "expfw"
 	c.Firmware = nvme.FirmwareNoSMART
+	return c
+}
+
+// FaultTolerance is the tuned kernel with the host-side tolerance
+// machinery armed: per-command timeouts with abort and bounded-backoff
+// retry. RAID-level degraded reads and hedging are per-client knobs
+// (raid.Tolerance); this configuration supplies the kernel half.
+func FaultTolerance() Config {
+	c := IRQAffinity()
+	c.Name = "fault-tolerant"
+	c.Timeout = kernel.DefaultTimeoutPolicy()
 	return c
 }
 
@@ -143,6 +159,10 @@ type Options struct {
 	// FirmwareOverride, when non-zero-valued, replaces the whole firmware
 	// config (not just the kind).
 	FirmwareOverride *nvme.Firmware
+	// FaultPlan, when non-nil, arms a fault injector over the fleet at
+	// boot; the resulting Injector (and its failure trace) is exposed as
+	// System.Faults.
+	FaultPlan *fault.Plan
 }
 
 // System is one booted host attached to its share of the all-flash array.
@@ -155,6 +175,7 @@ type System struct {
 	IRQ    *irq.Controller
 	Kernel *kernel.Kernel
 	Tracer *trace.Tracer
+	Faults *fault.Injector
 	Config Config
 	Seed   uint64
 }
@@ -231,13 +252,16 @@ func NewSystem(opt Options) *System {
 
 	k := kernel.New(eng, kernel.Config{
 		Sched: sch, IRQ: ic, SSDs: ssds, Mode: cfg.Mode,
-		Coalesce: cfg.Coalesce, Seed: opt.Seed,
+		Coalesce: cfg.Coalesce, Timeout: cfg.Timeout, Seed: opt.Seed,
 	})
 	k.StartDaemons(opt.Daemons)
 
 	sys := &System{
 		Eng: eng, Host: host, Fabric: fab, SSDs: ssds,
 		Sched: sch, IRQ: ic, Kernel: k, Config: cfg, Seed: opt.Seed,
+	}
+	if opt.FaultPlan != nil {
+		sys.Faults = fault.NewInjector(eng, ssds, *opt.FaultPlan)
 	}
 	if opt.TraceEvents > 0 {
 		sys.Tracer = trace.New(eng, opt.TraceEvents)

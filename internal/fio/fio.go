@@ -91,8 +91,16 @@ type Result struct {
 	RemoteIRQs int64
 	// Phases holds the per-phase latency decomposition when
 	// JobSpec.Phases is set.
-	Phases  *PhaseReport
-	Runtime sim.Duration
+	Phases *PhaseReport
+	// Errors counts I/Os that completed with a non-success status (after
+	// any kernel-level retries); their latency is not in Hist.
+	Errors int64
+	// Retried counts I/Os the kernel re-issued at least once before the
+	// delivered outcome; TimedOut counts those whose final outcome was a
+	// host-side timeout.
+	Retried  int64
+	TimedOut int64
+	Runtime  sim.Duration
 }
 
 // IOPS reports the job's achieved I/O rate.
@@ -279,9 +287,22 @@ func (j *Job) onComplete(c kernel.Completion) {
 func (j *Job) reap() {
 	now := j.eng.Now()
 	for _, c := range j.pending {
+		j.res.IOs++
+		j.inflight--
+		if c.Retries > 0 {
+			j.res.Retried++
+		}
+		if c.TimedOut {
+			j.res.TimedOut++
+		}
+		if c.Status != nvme.StatusSuccess {
+			// A failed I/O's "latency" is the tolerance machinery's give-up
+			// time, not a device service time; keep it out of the ladder.
+			j.res.Errors++
+			continue
+		}
 		lat := int64(now.Sub(c.Result.SubmittedAt))
 		j.res.Hist.Record(lat)
-		j.res.IOs++
 		if c.Result.BlockedBySMART {
 			j.res.SMARTBlocked++
 		}
@@ -294,7 +315,6 @@ func (j *Job) reap() {
 		if j.res.Phases != nil {
 			j.res.Phases.add(c, now)
 		}
-		j.inflight--
 	}
 	j.pending = j.pending[:0]
 	if now >= j.deadline {

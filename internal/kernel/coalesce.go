@@ -68,6 +68,7 @@ func (c *coalescer) flush() {
 				Delivery:    d,
 				WakePenalty: penalty,
 				DeliveredAt: c.k.eng.Now(),
+				Status:      p.res.Status,
 			})
 			// The wake penalty is charged once per interrupt, not per CQE.
 			penalty = 0

@@ -69,6 +69,9 @@ type Kernel struct {
 	coalesce   Coalescing
 	coalescers map[int]*coalescer
 
+	timeout TimeoutPolicy
+	iostats IOStats
+
 	// tick-work model state
 	tickRnd *rng.Stream
 }
@@ -82,7 +85,11 @@ type Config struct {
 	Mode  CompletionMode
 	// Coalesce enables NVMe interrupt coalescing (see Coalescing).
 	Coalesce Coalescing
-	Seed     uint64
+	// Timeout arms the host's per-command timeout/retry/abort machinery
+	// (see TimeoutPolicy); the zero value preserves the wait-forever
+	// behaviour.
+	Timeout TimeoutPolicy
+	Seed    uint64
 }
 
 // New builds the kernel and installs the tick-work policy on the
@@ -103,6 +110,7 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		mode:       cfg.Mode,
 		coalesce:   cfg.Coalesce,
 		coalescers: map[int]*coalescer{},
+		timeout:    cfg.Timeout,
 		rnd:        rng.NewLabeled(cfg.Seed, "kernel"),
 		tickRnd:    rng.NewLabeled(cfg.Seed, "tickwork"),
 	}
@@ -146,16 +154,38 @@ type Completion struct {
 	// DeliveredAt is when the host-side completion handler (softirq, or
 	// the poll loop) saw the CQE — the last kernel-side phase timestamp.
 	DeliveredAt sim.Time
+	// Status is the command's final completion status. StatusAborted with
+	// TimedOut set means the host gave up after exhausting the timeout
+	// policy's retries. Callers must check it before trusting the data.
+	Status nvme.Status
+	// Retries is how many times the host re-issued this command before
+	// the delivered outcome (0 on the untolerant path).
+	Retries int
+	// TimedOut reports that the final attempt ended in a host-side
+	// timeout rather than a device completion.
+	TimedOut bool
 }
 
 // SubmitIO sends a command to an SSD on behalf of a thread currently on
 // CPU submitCPU, and invokes done in interrupt (softirq) context when it
 // completes. The caller charges Costs().Submit to the submitting thread's
 // burst; done typically Execs the thread's completion burst and wakes it.
+// When the kernel was built with a TimeoutPolicy, the command runs under
+// per-attempt deadlines with abort + bounded-backoff retry; otherwise a
+// command to a dead device never completes, as on an untuned host.
 func (k *Kernel) SubmitIO(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
 	if ssd < 0 || ssd >= len(k.SSDs) {
 		panic(fmt.Sprintf("kernel: ssd %d out of range", ssd))
 	}
+	if k.timeout.Enabled() {
+		k.submitManaged(submitCPU, ssd, cmd, done)
+		return
+	}
+	k.submitOnce(submitCPU, ssd, cmd, done)
+}
+
+// submitOnce is the raw single-attempt submit path.
+func (k *Kernel) submitOnce(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
 	cmd.Queue = submitCPU
 	k.SSDs[ssd].Submit(cmd, func(res nvme.Result) {
 		switch k.mode {
@@ -166,6 +196,7 @@ func (k *Kernel) SubmitIO(submitCPU, ssd int, cmd nvme.Command, done func(Comple
 				Result:      res,
 				Delivery:    irq.Delivery{SSD: ssd, Queue: submitCPU, Executed: submitCPU},
 				DeliveredAt: k.eng.Now(),
+				Status:      res.Status,
 			})
 		default:
 			if k.coalesce.Enabled() {
@@ -178,6 +209,7 @@ func (k *Kernel) SubmitIO(submitCPU, ssd int, cmd nvme.Command, done func(Comple
 					Delivery:    d,
 					WakePenalty: k.IRQ.WakePenalty(d),
 					DeliveredAt: k.eng.Now(),
+					Status:      res.Status,
 				})
 			})
 		}

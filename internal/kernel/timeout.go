@@ -1,0 +1,155 @@
+// Host-side fault tolerance: per-command timeout, command abort, and
+// bounded-exponential-backoff retry — the machinery real NVMe hosts live
+// on (nvme_io_timeout / abort / requeue) and the seed repository lacked
+// entirely. With the zero policy the submit path is byte-identical to the
+// pre-fault-injection behaviour.
+
+package kernel
+
+import (
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// TimeoutPolicy configures the host's per-command tolerance machinery.
+// The zero value disables it: commands wait forever, statuses pass
+// through, nothing is retried (the seed behaviour).
+type TimeoutPolicy struct {
+	// Timeout is the per-attempt completion deadline (nvme_io_timeout).
+	// 0 disables the whole policy.
+	Timeout sim.Duration
+	// MaxRetries is how many times a timed-out or transiently-failed
+	// command is re-issued before the error is surfaced.
+	MaxRetries int
+	// Backoff is the delay before the first retry; each subsequent retry
+	// doubles it, capped at BackoffMax.
+	Backoff    sim.Duration
+	BackoffMax sim.Duration
+	// AbortCost is the admin Abort command round-trip charged after a
+	// timeout, before the retry clock starts.
+	AbortCost sim.Duration
+}
+
+// DefaultTimeoutPolicy returns the calibrated host tolerance knobs: a
+// deadline far above the healthy p99.9999 (~1 ms at QD1) but far below a
+// firmware stall, so timeouts fire only on genuinely sick devices.
+func DefaultTimeoutPolicy() TimeoutPolicy {
+	return TimeoutPolicy{
+		Timeout:    4 * sim.Millisecond,
+		MaxRetries: 5,
+		Backoff:    500 * sim.Microsecond,
+		BackoffMax: 8 * sim.Millisecond,
+		AbortCost:  10 * sim.Microsecond,
+	}
+}
+
+// Enabled reports whether the policy is armed.
+func (p TimeoutPolicy) Enabled() bool { return p.Timeout > 0 }
+
+// backoffFor returns the bounded exponential delay before retry attempt
+// (attempt is 0-based: the delay after the first failure is Backoff).
+func (p TimeoutPolicy) backoffFor(attempt int) sim.Duration {
+	d := p.Backoff
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.BackoffMax > 0 && d >= p.BackoffMax {
+			return p.BackoffMax
+		}
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	return d
+}
+
+// IOStats counts the tolerance machinery's activity.
+type IOStats struct {
+	Timeouts        int64 // per-attempt deadlines that fired
+	Aborts          int64 // abort admin commands issued
+	Retries         int64 // commands re-issued
+	LateCompletions int64 // CQEs that arrived for already-aborted attempts
+	Exhausted       int64 // commands surfaced as errors after MaxRetries
+	TransientErrors int64 // retryable device errors observed
+	MediaErrors     int64 // permanent media errors surfaced
+}
+
+// IOStats returns a copy of the tolerance counters.
+func (k *Kernel) IOStats() IOStats { return k.iostats }
+
+// Timeout reports the active policy.
+func (k *Kernel) Timeout() TimeoutPolicy { return k.timeout }
+
+// submitManaged runs one command under the timeout policy: each attempt
+// races a deadline timer against the completion; timeouts abort and
+// retry with bounded exponential backoff; retryable error statuses retry
+// without the abort; permanent errors and successes are delivered with
+// the retry count. A CQE arriving after its attempt was abandoned (the
+// abort racing a late completion) is counted and dropped.
+func (k *Kernel) submitManaged(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
+	first := k.eng.Now()
+	k.submitAttempt(submitCPU, ssd, cmd, 0, first, done)
+}
+
+func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, done func(Completion)) {
+	settled := false
+	var timer *sim.Event
+	timer = k.eng.After(k.timeout.Timeout, func() {
+		if settled {
+			return
+		}
+		settled = true
+		k.iostats.Timeouts++
+		k.iostats.Aborts++
+		// Abort admin round-trip, then retry or surface the failure. The
+		// aborted attempt's CQE, should it still arrive, is dropped above.
+		k.eng.After(k.timeout.AbortCost, func() {
+			failed := Completion{
+				Result: nvme.Result{
+					Cmd: cmd, SubmittedAt: first, Status: nvme.StatusAborted,
+				},
+				Status:   nvme.StatusAborted,
+				TimedOut: true,
+			}
+			k.retryOrFail(submitCPU, ssd, cmd, attempt, first, failed, done)
+		})
+	})
+	k.submitOnce(submitCPU, ssd, cmd, func(comp Completion) {
+		if settled {
+			// The abort raced a completion that was already in flight.
+			k.iostats.LateCompletions++
+			return
+		}
+		settled = true
+		k.eng.Cancel(timer)
+		if comp.Status.Retryable() {
+			k.iostats.TransientErrors++
+			k.retryOrFail(submitCPU, ssd, cmd, attempt, first, comp, done)
+			return
+		}
+		if comp.Status == nvme.StatusMediaError {
+			k.iostats.MediaErrors++
+		}
+		// End-to-end latency spans every attempt: report the first
+		// submission instant, not the final attempt's.
+		comp.Result.SubmittedAt = first
+		comp.Retries = attempt
+		done(comp)
+	})
+}
+
+// retryOrFail re-issues the command after backoff, or surfaces failed
+// when attempts are exhausted.
+func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, failed Completion, done func(Completion)) {
+	if attempt >= k.timeout.MaxRetries {
+		k.iostats.Exhausted++
+		failed.Result.SubmittedAt = first
+		failed.Retries = attempt
+		failed.DeliveredAt = k.eng.Now()
+		done(failed)
+		return
+	}
+	k.iostats.Retries++
+	k.eng.After(k.timeout.backoffFor(attempt), func() {
+		k.submitAttempt(submitCPU, ssd, cmd, attempt+1, first, done)
+	})
+}

@@ -1,0 +1,206 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/nvme"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestBackoffBounds(t *testing.T) {
+	p := TimeoutPolicy{Backoff: 100 * sim.Microsecond, BackoffMax: 500 * sim.Microsecond}
+	want := []sim.Duration{
+		100 * sim.Microsecond, // after attempt 0
+		200 * sim.Microsecond,
+		400 * sim.Microsecond,
+		500 * sim.Microsecond, // capped
+		500 * sim.Microsecond, // stays capped
+	}
+	for attempt, w := range want {
+		if got := p.backoffFor(attempt); got != w {
+			t.Fatalf("backoffFor(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Without a cap the doubling is unbounded.
+	p.BackoffMax = 0
+	if got := p.backoffFor(4); got != 1600*sim.Microsecond {
+		t.Fatalf("uncapped backoffFor(4) = %v", got)
+	}
+}
+
+func TestZeroPolicyDisabled(t *testing.T) {
+	if (TimeoutPolicy{}).Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	if !DefaultTimeoutPolicy().Enabled() {
+		t.Fatal("default policy must be enabled")
+	}
+}
+
+func newTimeoutRig(t *testing.T, policy TimeoutPolicy) *rig {
+	t.Helper()
+	r := newRig(t, 2, 1, sched.BootOptions{}, CompleteInterrupt)
+	r.k.timeout = policy
+	return r
+}
+
+func TestRetryExhaustionOnDeadDevice(t *testing.T) {
+	pol := TimeoutPolicy{
+		Timeout: 100 * sim.Microsecond, MaxRetries: 3,
+		Backoff: 50 * sim.Microsecond, BackoffMax: 200 * sim.Microsecond,
+		AbortCost: 10 * sim.Microsecond,
+	}
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].SetOffline(true) // commands are silently dropped
+
+	first := r.eng.Now()
+	var comp Completion
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(c Completion) {
+		comp = c
+		got = true
+	})
+	r.eng.RunUntil(sim.Time(100 * sim.Millisecond))
+
+	if !got {
+		t.Fatal("exhausted command never surfaced")
+	}
+	if comp.Status != nvme.StatusAborted || !comp.TimedOut {
+		t.Fatalf("final status = %v timedout=%v, want aborted timeout", comp.Status, comp.TimedOut)
+	}
+	if comp.Retries != pol.MaxRetries {
+		t.Fatalf("retries = %d, want %d", comp.Retries, pol.MaxRetries)
+	}
+	if comp.Result.SubmittedAt != first {
+		t.Fatalf("SubmittedAt = %v, want first submit %v", comp.Result.SubmittedAt, first)
+	}
+	st := r.k.IOStats()
+	if st.Timeouts != int64(pol.MaxRetries+1) || st.Aborts != st.Timeouts {
+		t.Fatalf("timeouts=%d aborts=%d, want %d each", st.Timeouts, st.Aborts, pol.MaxRetries+1)
+	}
+	if st.Retries != int64(pol.MaxRetries) || st.Exhausted != 1 {
+		t.Fatalf("retries=%d exhausted=%d", st.Retries, st.Exhausted)
+	}
+}
+
+func TestAbortRacesLateCompletion(t *testing.T) {
+	// Deadline far below the healthy ~30µs device latency: every attempt
+	// times out, yet every attempt's CQE still arrives — each must be
+	// counted late and dropped, never delivered twice.
+	pol := TimeoutPolicy{
+		Timeout: 5 * sim.Microsecond, MaxRetries: 2,
+		Backoff: 10 * sim.Microsecond, AbortCost: sim.Microsecond,
+	}
+	r := newTimeoutRig(t, pol)
+
+	deliveries := 0
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(c Completion) {
+		deliveries++
+		if c.Status != nvme.StatusAborted {
+			t.Fatalf("delivered status %v", c.Status)
+		}
+	})
+	r.eng.RunUntil(sim.Time(10 * sim.Millisecond))
+
+	if deliveries != 1 {
+		t.Fatalf("delivered %d times, want exactly once", deliveries)
+	}
+	st := r.k.IOStats()
+	if st.LateCompletions != int64(pol.MaxRetries+1) {
+		t.Fatalf("late completions = %d, want %d (one per aborted attempt)",
+			st.LateCompletions, pol.MaxRetries+1)
+	}
+}
+
+func TestTimeoutRecoversAfterStall(t *testing.T) {
+	// A firmware stall shorter than the total retry budget: the command
+	// must eventually succeed, reporting its retries and first-submit time.
+	pol := TimeoutPolicy{
+		Timeout: 200 * sim.Microsecond, MaxRetries: 5,
+		Backoff: 100 * sim.Microsecond, BackoffMax: sim.Millisecond,
+		AbortCost: 10 * sim.Microsecond,
+	}
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].StallSubmissionQueues(500 * sim.Microsecond)
+
+	first := r.eng.Now()
+	var comp Completion
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(c Completion) {
+		comp = c
+		got = true
+	})
+	r.eng.RunUntil(sim.Time(100 * sim.Millisecond))
+
+	if !got {
+		t.Fatal("command never completed")
+	}
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("status = %v after stall cleared", comp.Status)
+	}
+	if comp.Retries == 0 {
+		t.Fatal("stalled command succeeded without retrying")
+	}
+	if comp.Result.SubmittedAt != first {
+		t.Fatalf("latency must span all attempts: SubmittedAt = %v, want %v",
+			comp.Result.SubmittedAt, first)
+	}
+	if st := r.k.IOStats(); st.Exhausted != 0 {
+		t.Fatalf("exhausted = %d for a recoverable stall", st.Exhausted)
+	}
+}
+
+func TestTransientErrorsRetryWithoutAbort(t *testing.T) {
+	pol := DefaultTimeoutPolicy()
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].SetTransientErrorRate(1.0)
+	// Heal the device after the first attempt has failed.
+	r.eng.After(100*sim.Microsecond, func() { r.k.SSDs[0].SetTransientErrorRate(0) })
+
+	var comp Completion
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(c Completion) {
+		comp = c
+		got = true
+	})
+	r.eng.RunUntil(sim.Time(100 * sim.Millisecond))
+
+	if !got || comp.Status != nvme.StatusSuccess {
+		t.Fatalf("got=%v status=%v", got, comp.Status)
+	}
+	if comp.Retries == 0 {
+		t.Fatal("transient error did not retry")
+	}
+	st := r.k.IOStats()
+	if st.TransientErrors == 0 {
+		t.Fatal("transient error not counted")
+	}
+	if st.Aborts != 0 {
+		t.Fatalf("aborts = %d; transient retries must skip the abort", st.Aborts)
+	}
+}
+
+func TestMediaErrorSurfacesWithoutRetry(t *testing.T) {
+	pol := DefaultTimeoutPolicy()
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].MarkBadLBA(7)
+
+	var comp Completion
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 7}, func(c Completion) {
+		comp = c
+		got = true
+	})
+	r.eng.RunUntil(sim.Time(10 * sim.Millisecond))
+
+	if !got || comp.Status != nvme.StatusMediaError {
+		t.Fatalf("got=%v status=%v, want media error", got, comp.Status)
+	}
+	if comp.Retries != 0 {
+		t.Fatalf("uncorrectable media error retried %d times", comp.Retries)
+	}
+	if st := r.k.IOStats(); st.MediaErrors != 1 {
+		t.Fatalf("media errors = %d", st.MediaErrors)
+	}
+}

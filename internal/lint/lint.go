@@ -170,6 +170,7 @@ var simCorePackages = map[string]bool{
 	"raid":   true,
 	"kernel": true,
 	"irq":    true,
+	"fault":  true,
 }
 
 // isSimCore reports whether path is one of the sim-core packages

@@ -20,6 +20,12 @@ var fixtureCases = []struct {
 	{"maporder", "repro/internal/fixture"},
 	{"nogoroutine", "repro/internal/sim"},
 	{"floatcompare", "repro/internal/sim"},
+	// The fault injector schedules failures inside the event loop, so it
+	// is bound by the same sim-core rules as the components it breaks.
+	{"nogoroutine", "repro/internal/fault"},
+	{"floatcompare", "repro/internal/fault"},
+	{"wallclock", "repro/internal/fault"},
+	{"globalrand", "repro/internal/fault"},
 }
 
 // wantMarker matches expectation comments in fixtures: a finding of

@@ -118,6 +118,43 @@ type Command struct {
 	Queue int // submitting CPU / queue pair index
 }
 
+// Status is the completion status the controller posts in the CQE. The
+// model collapses the NVMe status-code hierarchy into the four outcomes
+// the host stack distinguishes: success, a retryable transient failure
+// (generic internal error with the retry bit), an uncorrectable media
+// error (permanent for that LBA), and command aborted.
+type Status int
+
+const (
+	// StatusSuccess: command completed normally.
+	StatusSuccess Status = iota
+	// StatusTransient: internal controller error with the do-not-retry
+	// bit clear — the host may re-issue the command.
+	StatusTransient
+	// StatusMediaError: unrecovered read error; retrying the same LBA on
+	// the same device cannot succeed.
+	StatusMediaError
+	// StatusAborted: the command was aborted (host Abort admin command,
+	// or the device disappeared mid-flight).
+	StatusAborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusTransient:
+		return "transient-error"
+	case StatusMediaError:
+		return "media-error"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "success"
+	}
+}
+
+// Retryable reports whether re-issuing the command can succeed.
+func (s Status) Retryable() bool { return s == StatusTransient }
+
 // Result describes a completed command, with blktrace-style timestamps of
 // each phase so host tooling can decompose latency (see the fio package's
 // phase report and the anatomy example).
@@ -139,6 +176,9 @@ type Result struct {
 	// BlockedBySMART reports that the command waited on a housekeeping
 	// window.
 	BlockedBySMART bool
+	// Status is the CQE status code. Callers must check it: a non-success
+	// completion carries no data.
+	Status Status
 }
 
 // Stats counts controller activity.
@@ -147,6 +187,11 @@ type Stats struct {
 	SMARTWindows           int64
 	SMARTBlockedIOs        int64
 	Formats                int64
+	// Fault-injection outcomes (package fault drives the knobs).
+	TransientErrors int64 // commands failed with StatusTransient
+	MediaErrors     int64 // commands failed with StatusMediaError
+	DroppedCmds     int64 // commands lost to an offline (dropped) device
+	FaultStalls     int64 // injected firmware SQ-drain stalls
 }
 
 // Controller is one SSD: NVMe front-end plus NAND back-end.
@@ -167,6 +212,17 @@ type Controller struct {
 	smartTicker    *sim.Ticker
 	writeNextFree  sim.Time
 	writeTokenCost sim.Duration
+
+	// Fault-injection state, driven by package fault through the setters
+	// below. All zero values mean a healthy device; the paths below cost
+	// nothing extra in that case.
+	faultRnd      *rng.Stream
+	readSlow      float64 // slow-NAND bin multiplier, 1 = nominal
+	stormSlow     float64 // GC-storm window multiplier, 1 = no storm
+	transientRate float64 // per-command probability of StatusTransient
+	badLBAs       map[int64]bool
+	offline       bool
+	sqStallUntil  sim.Time
 
 	stats Stats
 }
@@ -204,6 +260,9 @@ func New(eng *sim.Engine, cfg Config) *Controller {
 		fabric:         cfg.Fabric,
 		eng:            eng,
 		rnd:            rng.NewLabeled(cfg.Seed, fmt.Sprintf("nvme%d", cfg.ID)),
+		faultRnd:       rng.NewLabeled(cfg.Seed, fmt.Sprintf("nvme%d/fault", cfg.ID)),
+		readSlow:       1,
+		stormSlow:      1,
 		cmdProcess:     2 * sim.Microsecond,
 		cqePost:        500 * sim.Nanosecond,
 		writeTokenCost: sim.Duration(int64(sim.Second) / int64(SpecTableI().RandWriteIOPS)),
@@ -271,21 +330,107 @@ func (c *Controller) Stats() Stats { return c.stats }
 // MediaBlockedUntil exposes the housekeeping stall deadline (for tests).
 func (c *Controller) MediaBlockedUntil() sim.Time { return c.blockedUntil }
 
+// --- fault-injection knobs (package fault is the intended driver) ---
+
+// SetReadSlowdown scales NAND read service time by factor (a slow-bin
+// device; 1 restores nominal). Factors below 1 are rejected: the model
+// never makes a device faster than its bin.
+func (c *Controller) SetReadSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.readSlow = factor
+}
+
+// SetStormFactor scales NAND read time during a GC-storm window; it
+// composes multiplicatively with SetReadSlowdown. 1 ends the storm.
+func (c *Controller) SetStormFactor(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.stormSlow = factor
+}
+
+// SetTransientErrorRate sets the per-command probability of a retryable
+// StatusTransient completion. Draws come from the controller's private
+// fault stream, so enabling errors on one device never perturbs another.
+func (c *Controller) SetTransientErrorRate(p float64) { c.transientRate = p }
+
+// MarkBadLBA makes reads of the slice return StatusMediaError until
+// ClearBadLBA (or Format, which discards the medium state entirely).
+func (c *Controller) MarkBadLBA(lba int64) {
+	if c.badLBAs == nil {
+		c.badLBAs = map[int64]bool{}
+	}
+	c.badLBAs[lba] = true
+}
+
+// ClearBadLBA removes an injected media error.
+func (c *Controller) ClearBadLBA(lba int64) { delete(c.badLBAs, lba) }
+
+// SetOffline drops (true) or recovers (false) the whole device. While
+// offline, submitted commands are lost without a completion — exactly the
+// failure mode the host-side timeout machinery exists for.
+func (c *Controller) SetOffline(offline bool) { c.offline = offline }
+
+// Offline reports whether the device is currently dropped.
+func (c *Controller) Offline() bool { return c.offline }
+
+// StallSubmissionQueues models a firmware lockup: the controller stops
+// fetching SQEs for d. Commands already fetched proceed; newly submitted
+// ones wait out the stall before decode.
+func (c *Controller) StallSubmissionQueues(d sim.Duration) {
+	until := c.eng.Now().Add(d)
+	if until > c.sqStallUntil {
+		c.sqStallUntil = until
+	}
+	c.stats.FaultStalls++
+}
+
+// slowFactor is the effective NAND read multiplier.
+func (c *Controller) slowFactor() float64 { return c.readSlow * c.stormSlow }
+
 // Submit issues a command; done fires when the CQE has been posted and the
 // MSI-X interrupt would be raised. The host-side interrupt path is the
 // caller's job (the kernel package routes it through package irq).
 func (c *Controller) Submit(cmd Command, done func(Result)) {
 	now := c.eng.Now()
+	if c.offline {
+		// The device is gone: the doorbell write lands nowhere and no CQE
+		// will ever be posted. Recovery is the host's job (kernel timeout).
+		c.stats.DroppedCmds++
+		return
+	}
 	res := Result{Cmd: cmd, SubmittedAt: now}
 	if cmd.Bytes == 0 {
 		cmd.Bytes = 4096
 	}
 
-	// Doorbell + SQE fetch across the fabric, then controller decode.
+	// Doorbell + SQE fetch across the fabric, then controller decode. A
+	// stalled firmware stops draining SQs: the fetch waits out the stall.
 	fetch := c.fabric.Downstream(c.ID, 64) + c.cmdProcess
+	if c.sqStallUntil > now {
+		fetch += c.sqStallUntil.Sub(now)
+	}
 
 	c.eng.After(fetch, func() {
+		if c.offline {
+			// Dropped while the command sat in the SQ.
+			c.stats.DroppedCmds++
+			return
+		}
 		res.FetchedAt = c.eng.Now()
+		if c.transientRate > 0 && c.faultRnd.Bool(c.transientRate) {
+			// Internal controller error: the command dies after decode,
+			// before (or during) media access; the CQE carries the
+			// retryable generic error status.
+			c.stats.TransientErrors++
+			res.Status = StatusTransient
+			c.eng.After(c.cqePost+c.fabric.Upstream(c.ID, 16), func() {
+				c.complete(cmd, res, done)
+			})
+			return
+		}
 		switch cmd.Op {
 		case OpRead:
 			c.stats.Reads++
@@ -321,10 +466,26 @@ func (c *Controller) mediaRead(cmd Command, res Result, done func(Result)) {
 			slices = 1
 		}
 		var nandDelay sim.Duration
+		bad := false
 		for i := 0; i < slices; i++ {
-			if d := c.Flash.Read(cmd.LBA + int64(i)); d > nandDelay {
+			lba := cmd.LBA + int64(i)
+			if c.badLBAs[lba] {
+				bad = true
+			}
+			if d := c.Flash.Read(lba); d > nandDelay {
 				nandDelay = d
 			}
+		}
+		if f := c.slowFactor(); f > 1 {
+			// Slow-bin / GC-storm degradation stretches the array time.
+			nandDelay = sim.Duration(float64(nandDelay) * f)
+		}
+		if bad {
+			// Uncorrectable slice: the read-retry ladder runs to exhaustion
+			// (a few extra array reads) and the CQE reports a media error.
+			nandDelay *= 3
+			res.Status = StatusMediaError
+			c.stats.MediaErrors++
 		}
 		c.eng.After(nandDelay, func() {
 			res.MediaDoneAt = c.eng.Now()
@@ -345,6 +506,10 @@ func (c *Controller) bufferedWrite(cmd Command, res Result, done func(Result)) {
 		res.BlockedBySMART = true
 		c.stats.SMARTBlockedIOs++
 	}
+	// Rewriting an uncorrectable LBA heals it: the program lands on a
+	// fresh page and the mapping moves (how a RAID repair-write fixes a
+	// bad sector).
+	delete(c.badLBAs, cmd.LBA)
 	admit := now.Add(stall)
 	if c.writeNextFree > admit {
 		admit = c.writeNextFree
@@ -366,6 +531,11 @@ func (c *Controller) bufferedWrite(cmd Command, res Result, done func(Result)) {
 }
 
 func (c *Controller) complete(cmd Command, res Result, done func(Result)) {
+	if c.offline {
+		// The device died with the command in flight: no CQE.
+		c.stats.DroppedCmds++
+		return
+	}
 	res.CompletedAt = c.eng.Now()
 	res.Cmd = cmd
 	done(res)
@@ -378,6 +548,7 @@ func (c *Controller) Format(done func()) {
 	c.stats.Formats++
 	c.eng.After(200*sim.Millisecond, func() {
 		c.Flash.Format()
+		c.badLBAs = nil // format remaps injected media errors away
 		if done != nil {
 			done()
 		}

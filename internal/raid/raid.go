@@ -24,6 +24,41 @@ import (
 	"repro/internal/stats"
 )
 
+// Tolerance configures the client's fault-tolerance machinery: degraded
+// reads reconstruct a failed data sub-I/O from the stripe's parity member
+// (the request already holds every other data slice, so XOR needs only
+// the one extra parity read), and hedged reads fire that same
+// reconstruction speculatively when a request's last straggler exceeds an
+// adaptive latency quantile — Dean & Barroso's tail-at-scale answer.
+type Tolerance struct {
+	// ParitySSD is the stripe's parity member. It must not appear in the
+	// data stripe.
+	ParitySSD int
+	// HedgeQuantile > 0 enables hedged reads: once a request has exactly
+	// one sub-I/O outstanding and its age exceeds this quantile of the
+	// observed request-latency distribution, the parity read is fired and
+	// whichever path answers first completes the request.
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay, and is used verbatim until
+	// MinSamples requests have been observed (a cold quantile estimate
+	// would hedge everything).
+	HedgeMin sim.Duration
+	// MinSamples gates the adaptive quantile.
+	MinSamples int64
+}
+
+// DefaultTolerance returns the calibrated tolerance knobs: hedge at the
+// observed p99 (the ladder's first rung), floored at 300 µs until 100
+// samples exist.
+func DefaultTolerance(paritySSD int) *Tolerance {
+	return &Tolerance{
+		ParitySSD:     paritySSD,
+		HedgeQuantile: 0.99,
+		HedgeMin:      300 * sim.Microsecond,
+		MinSamples:    100,
+	}
+}
+
 // ClientSpec describes a striped-read client.
 type ClientSpec struct {
 	Name string
@@ -37,8 +72,16 @@ type ClientSpec struct {
 	// Runtime bounds the issue window.
 	Runtime sim.Duration
 	// QD is the number of outstanding striped requests (1 = closed loop).
-	QD   int
-	Seed uint64
+	QD int
+	// Tol enables degraded reads and (optionally) hedging; nil means a
+	// failed sub-I/O fails the whole request, as in the RAID-0 reading of
+	// the paper's Section I.
+	Tol *Tolerance
+	// LatLog records per-request (completion time, latency) samples, for
+	// recovery-time series.
+	LatLog      bool
+	LatLogLimit int
+	Seed        uint64
 }
 
 // Result is the client-visible outcome.
@@ -49,11 +92,29 @@ type Result struct {
 	Ladder stats.Ladder
 	// Requests completed.
 	Requests int64
-	// SubIOs completed (Requests × stripe width).
+	// SubIOs completed (including parity reads and late stragglers).
 	SubIOs int64
 	// StragglerSSD counts, per SSD, how often it was the last to answer.
 	StragglerSSD map[int]int64
-	Runtime      sim.Duration
+	// SubIOErrors counts data sub-I/Os that came back with a non-success
+	// status (after any kernel-level retries).
+	SubIOErrors int64
+	// DegradedReads counts error-triggered parity reconstructions.
+	DegradedReads int64
+	// HedgedReads counts deadline-triggered speculative parity reads;
+	// HedgeWins counts those that beat the straggler.
+	HedgedReads int64
+	HedgeWins   int64
+	// LateSubIOs counts sub-I/O completions that arrived after their
+	// request had already been completed (hedge won) or abandoned.
+	LateSubIOs int64
+	// FailedRequests counts requests that could not be served: a data
+	// sub-I/O failed with no parity configured, or two members (or the
+	// parity path itself) failed. Their latency is not in Hist.
+	FailedRequests int64
+	// Log holds per-request samples when ClientSpec.LatLog is set.
+	Log     *stats.LatLog
+	Runtime sim.Duration
 }
 
 // Client is a running striped-read workload.
@@ -72,15 +133,28 @@ type Client struct {
 	done      bool
 	onDone    func(*Result)
 
+	// hedgeHist records only requests served without parity help: hedging
+	// at a quantile of the overall distribution would be self-referential —
+	// during an outage every request completes at hedge latency, dragging
+	// the hedge delay upward without bound.
+	hedgeHist *stats.Histogram
+
 	maxLBA int64
 }
 
-// request tracks one striped request's fan-out.
+// request tracks one striped request's fan-out and its recovery state.
 type request struct {
 	c         *Client
 	issuedAt  sim.Time
-	remaining int
-	lastSSD   int
+	lba       int64
+	remaining int  // data sub-I/Os outstanding
+	lastSSD   int  // last member to answer successfully
+	failed    bool // unrecoverable: ≥2 members (or parity) failed
+	// usedParity: the one reconstruction slot is taken (degraded or hedge).
+	usedParity    bool
+	parityPending bool
+	hedgeArmed    bool
+	done          bool
 }
 
 // New creates a client (call Start to run it).
@@ -103,9 +177,23 @@ func New(eng *sim.Engine, k *kernel.Kernel, spec ClientSpec) *Client {
 		eng:  eng,
 		rnd:  rng.NewLabeled(spec.Seed, "raid-"+spec.Name),
 	}
+	if t := spec.Tol; t != nil {
+		if t.ParitySSD < 0 || t.ParitySSD >= len(k.SSDs) {
+			panic(fmt.Sprintf("raid: parity SSD %d out of range", t.ParitySSD))
+		}
+		for _, ssd := range spec.Stripe {
+			if ssd == t.ParitySSD {
+				panic(fmt.Sprintf("raid: parity SSD %d is also a data member", ssd))
+			}
+		}
+	}
 	c.res.Spec = spec
 	c.res.Hist = stats.NewHistogram()
+	c.hedgeHist = stats.NewHistogram()
 	c.res.StragglerSSD = map[int]int64{}
+	if spec.LatLog {
+		c.res.Log = stats.NewLatLog(spec.LatLogLimit)
+	}
 	c.maxLBA = k.SSDs[spec.Stripe[0]].Flash.LogicalSlices()
 	prio := spec.RTPrio
 	if spec.Class == sched.ClassCFS {
@@ -156,8 +244,9 @@ func (c *Client) reapCost(n int) sim.Duration {
 }
 
 func (c *Client) issueOne() {
-	req := &request{c: c, issuedAt: c.eng.Now(), remaining: len(c.spec.Stripe)}
 	lba := c.rnd.Int63n(c.maxLBA)
+	req := &request{c: c, issuedAt: c.eng.Now(), lba: lba, lastSSD: -1,
+		remaining: len(c.spec.Stripe)}
 	for _, ssd := range c.spec.Stripe {
 		ssd := ssd
 		cmd := nvme.Command{Op: nvme.OpRead, LBA: lba, Bytes: 4096}
@@ -167,22 +256,137 @@ func (c *Client) issueOne() {
 	}
 }
 
-// subDone runs in softirq context for each sub-I/O.
+// hedgeDelay is how long a request may age before the speculative parity
+// read fires: the observed unhedged-request latency quantile once enough
+// samples exist, floored at HedgeMin.
+func (c *Client) hedgeDelay() sim.Duration {
+	t := c.spec.Tol
+	if c.hedgeHist.Count() >= t.MinSamples {
+		if q := sim.Duration(c.hedgeHist.Quantile(t.HedgeQuantile)); q > t.HedgeMin {
+			return q
+		}
+	}
+	return t.HedgeMin
+}
+
+// subDone runs in softirq context for each data sub-I/O.
 func (r *request) subDone(ssd int, comp kernel.Completion) {
 	c := r.c
+	if c.done {
+		return
+	}
 	c.res.SubIOs++
-	r.remaining--
-	r.lastSSD = ssd
+	if r.done {
+		// The hedge already completed (or the request already failed);
+		// this straggler's answer is no longer needed.
+		c.res.LateSubIOs++
+		return
+	}
 	if comp.WakePenalty > 0 {
 		c.task.AddPenalty(comp.WakePenalty)
 	}
-	if r.remaining > 0 {
-		return // the client thread is only woken by the straggler
+	r.remaining--
+	if comp.Status != nvme.StatusSuccess {
+		c.res.SubIOErrors++
+		if c.spec.Tol != nil && !r.usedParity {
+			// Degraded read: reconstruct this member from parity + the
+			// other members (already being read anyway).
+			r.useParity(false)
+		} else {
+			// Second failure, or no parity: the stripe cannot be served.
+			r.failed = true
+		}
+	} else {
+		r.lastSSD = ssd
 	}
-	// Last sub-I/O: the request is complete once the thread reaps it. A
-	// sleeping thread needs a wake; a running or queued one reaps at its
-	// next burst boundary.
-	c.res.StragglerSSD[ssd]++
+	r.progress()
+}
+
+// useParity claims the request's one reconstruction slot and issues the
+// parity read. hedge marks it speculative (straggler still outstanding).
+func (r *request) useParity(hedge bool) {
+	c := r.c
+	r.usedParity = true
+	r.parityPending = true
+	if hedge {
+		c.res.HedgedReads++
+	} else {
+		c.res.DegradedReads++
+	}
+	cmd := nvme.Command{Op: nvme.OpRead, LBA: r.lba, Bytes: 4096}
+	c.k.SubmitIO(c.task.CPU(), c.spec.Tol.ParitySSD, cmd, func(comp kernel.Completion) {
+		r.parityDone(comp, hedge)
+	})
+}
+
+// parityDone runs in softirq context for the reconstruction read.
+func (r *request) parityDone(comp kernel.Completion, hedge bool) {
+	c := r.c
+	if c.done {
+		return
+	}
+	c.res.SubIOs++
+	if r.done {
+		c.res.LateSubIOs++
+		return
+	}
+	if comp.WakePenalty > 0 {
+		c.task.AddPenalty(comp.WakePenalty)
+	}
+	r.parityPending = false
+	if comp.Status != nvme.StatusSuccess {
+		// Reconstruction failed. A speculative hedge can still be saved
+		// by its straggler; a degraded read cannot.
+		if !hedge || r.remaining == 0 {
+			r.failed = true
+		}
+	} else {
+		r.lastSSD = c.spec.Tol.ParitySSD
+		if hedge && r.remaining > 0 {
+			// The parity path beat the straggler: complete now; the
+			// straggler's eventual CQE is dropped as late. (The 4 KiB XOR
+			// is sub-microsecond and folded into the reap burst.)
+			c.res.HedgeWins++
+			r.finish()
+			return
+		}
+	}
+	r.progress()
+}
+
+// progress completes the request when nothing is outstanding, and arms
+// the hedge when only the straggler remains.
+func (r *request) progress() {
+	c := r.c
+	if r.remaining == 0 && !r.parityPending {
+		r.finish()
+		return
+	}
+	if r.remaining == 1 && !r.parityPending && !r.usedParity && !r.failed &&
+		!r.hedgeArmed && c.spec.Tol != nil && c.spec.Tol.HedgeQuantile > 0 {
+		r.hedgeArmed = true
+		fireAt := r.issuedAt.Add(c.hedgeDelay())
+		if now := c.eng.Now(); fireAt < now {
+			fireAt = now
+		}
+		c.eng.At(fireAt, func() {
+			if c.done || r.done || r.usedParity || r.remaining == 0 {
+				return
+			}
+			r.useParity(true)
+		})
+	}
+}
+
+// finish hands the request to the client thread for reaping. A sleeping
+// thread needs a wake; a running or queued one reaps at its next burst
+// boundary.
+func (r *request) finish() {
+	c := r.c
+	r.done = true
+	if !r.failed && r.lastSSD >= 0 {
+		c.res.StragglerSSD[r.lastSSD]++
+	}
 	c.completed = append(c.completed, r)
 	if c.task.State() == sched.StateSleeping {
 		c.task.Exec(c.reapCost(len(c.completed)), c.reapAll)
@@ -193,7 +397,21 @@ func (r *request) subDone(ssd int, comp kernel.Completion) {
 func (c *Client) reapAll() {
 	now := c.eng.Now()
 	for _, r := range c.completed {
-		c.res.Hist.Record(int64(now.Sub(r.issuedAt)))
+		if r.failed {
+			// Errors surface to the client; their latency does not pollute
+			// the served-request distribution.
+			c.res.FailedRequests++
+			c.inflight--
+			continue
+		}
+		lat := int64(now.Sub(r.issuedAt))
+		c.res.Hist.Record(lat)
+		if !r.usedParity {
+			c.hedgeHist.Record(lat)
+		}
+		if c.res.Log != nil {
+			c.res.Log.Add(int64(now), lat)
+		}
 		c.res.Requests++
 		c.inflight--
 	}

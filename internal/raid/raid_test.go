@@ -131,3 +131,108 @@ func TestEmptyStripePanics(t *testing.T) {
 	}()
 	New(eng, k, ClientSpec{CPU: 1})
 }
+
+func TestDegradedReadReconstructsFromParity(t *testing.T) {
+	eng, k := newRig(t, 2, 5)
+	// Every read of member 2 fails permanently (no kernel retry: the rig
+	// has no timeout policy, so statuses pass through).
+	k.SSDs[2].SetTransientErrorRate(1.0)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 100 * sim.Millisecond,
+		Tol: &Tolerance{ParitySSD: 4}, Seed: 1,
+	}})[0]
+	if res.Requests < 100 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("failed = %d with parity available", res.FailedRequests)
+	}
+	if res.DegradedReads != res.Requests {
+		t.Fatalf("degraded = %d, want one per request (%d)", res.DegradedReads, res.Requests)
+	}
+	if res.SubIOErrors != res.Requests {
+		t.Fatalf("sub-I/O errors = %d, want %d", res.SubIOErrors, res.Requests)
+	}
+}
+
+func TestFailedSubIOWithoutParityFailsRequest(t *testing.T) {
+	eng, k := newRig(t, 2, 4)
+	k.SSDs[2].SetTransientErrorRate(1.0)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 100 * sim.Millisecond, Seed: 1,
+	}})[0]
+	if res.Requests != 0 {
+		t.Fatalf("served %d requests with a dead member and no parity", res.Requests)
+	}
+	if res.FailedRequests < 100 {
+		t.Fatalf("failed = %d", res.FailedRequests)
+	}
+	if res.Hist.Count() != 0 {
+		t.Fatal("failed requests leaked into the latency histogram")
+	}
+}
+
+func TestSecondFailureDefeatsParity(t *testing.T) {
+	eng, k := newRig(t, 2, 5)
+	// Two data members fail: one reconstruction slot is not enough.
+	k.SSDs[1].SetTransientErrorRate(1.0)
+	k.SSDs[2].SetTransientErrorRate(1.0)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 100 * sim.Millisecond,
+		Tol: &Tolerance{ParitySSD: 4}, Seed: 1,
+	}})[0]
+	if res.Requests != 0 {
+		t.Fatalf("served %d requests with two dead members", res.Requests)
+	}
+	if res.FailedRequests < 100 {
+		t.Fatalf("failed = %d", res.FailedRequests)
+	}
+}
+
+func TestHedgedReadCapsStraggler(t *testing.T) {
+	eng, k := newRig(t, 2, 5)
+	// Member 2 is pathologically slow (~60× NAND read time): without
+	// hedging every request waits for it.
+	k.SSDs[2].SetReadSlowdown(60)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 200 * sim.Millisecond,
+		Tol: &Tolerance{ParitySSD: 4, HedgeQuantile: 0.99,
+			HedgeMin: 100 * sim.Microsecond, MinSamples: 50},
+		Seed: 1,
+	}})[0]
+	if res.HedgeWins < 100 {
+		t.Fatalf("hedge wins = %d; the slow member should lose every race", res.HedgeWins)
+	}
+	// Baseline without hedging: the straggler sets the pace.
+	eng2, k2 := newRig(t, 2, 5)
+	k2.SSDs[2].SetReadSlowdown(60)
+	base := Run(eng2, k2, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 200 * sim.Millisecond, Seed: 1,
+	}})[0]
+	if res.Ladder.Max >= base.Ladder.P[0] {
+		t.Fatalf("hedged max %d not below unhedged p99 %d", res.Ladder.Max, base.Ladder.P[0])
+	}
+	if res.Requests <= base.Requests {
+		t.Fatalf("hedging should raise throughput: %d vs %d", res.Requests, base.Requests)
+	}
+}
+
+func TestParityInStripePanics(t *testing.T) {
+	eng, k := newRig(t, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("parity SSD inside the data stripe accepted")
+		}
+	}()
+	New(eng, k, ClientSpec{Stripe: []int{0, 1}, CPU: 1, Tol: &Tolerance{ParitySSD: 1}})
+}
+
+func TestParityOutOfRangePanics(t *testing.T) {
+	eng, k := newRig(t, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range parity SSD accepted")
+		}
+	}()
+	New(eng, k, ClientSpec{Stripe: []int{0, 1}, CPU: 1, Tol: &Tolerance{ParitySSD: 9}})
+}

@@ -7,7 +7,10 @@
 #               no global rand, no map-order dependence, no concurrency
 #               or float equality in the sim core;
 #   race test — full suite under the race detector (the sim is
-#               single-threaded by contract, so this must be silent).
+#               single-threaded by contract, so this must be silent);
+#   fault     — the fault-injection and tolerance paths re-run under
+#               -race with full verbosity counts: the timeout/abort/hedge
+#               machinery is the most callback-entangled code in the tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +18,4 @@ go build ./...
 go vet ./...
 go run ./cmd/afalint ./...
 go test -race ./...
+go test -race -count=1 ./internal/fault/ ./internal/kernel/ ./internal/raid/
