@@ -14,10 +14,13 @@ package repro
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -32,6 +35,11 @@ func benchOpts() core.ExpOptions {
 	if os.Getenv("REPRO_FULL") != "" {
 		o.Runtime = 120 * sim.Second
 		o.SoloRuns = 64
+	}
+	// REPRO_PARALLEL caps the worker pool for fan-out experiments; unset
+	// means one worker per CPU. Results are identical at any width.
+	if n, _ := strconv.Atoi(os.Getenv("REPRO_PARALLEL")); n > 0 {
+		o.Parallel = n
 	}
 	return o
 }
@@ -309,6 +317,77 @@ func BenchmarkTailAtScale(b *testing.B) {
 	b.ReportMetric(float64(rs[0].Client.P[0])/1e3, "w1-p99-µs")
 	b.ReportMetric(float64(rs[2].Client.P[0])/1e3, "w32-p99-µs")
 	b.ReportMetric(rs[2].Amplification, "w32-amplification-x")
+}
+
+// BenchmarkParallelSpeedup measures the orchestration layer's win on the
+// suite's two big fan-outs — the four-config Fig 12 sweep and the Table II
+// geometry matrix behind Fig 13 — by timing the same work at -parallel 1
+// and at the default pool width. The ratio is the headline metric
+// (speedup-x); a BENCH_parallel.json summary is written through the
+// export path. The metric is informational, not asserted: on a 1-CPU
+// host the honest answer is ~1×, and anything else would mean the merge
+// was cheating. With ≥8 cores the suite targets ≥3×.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	o := benchOpts()
+	o.Runtime = 200 * sim.Millisecond
+	suite := func(o core.ExpOptions) {
+		core.RunFig12(o)
+		core.RunFig13(o)
+	}
+	var row core.ParallelBenchRow
+	for i := 0; i < b.N; i++ {
+		serial := o
+		serial.Parallel = 1
+		t0 := time.Now() //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		suite(serial)
+		serialDur := time.Since(t0) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+
+		wide := o
+		wide.Parallel = 0 // one worker per CPU
+		t1 := time.Now() //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		suite(wide)
+		wideDur := time.Since(t1) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+
+		row = core.ParallelBenchRow{
+			Experiment: "fig12+fig13",
+			Parallel:   runner.DefaultParallel(),
+			SerialMs:   float64(serialDur) / 1e6,
+			ParallelMs: float64(wideDur) / 1e6,
+			Speedup:    float64(serialDur) / float64(wideDur),
+		}
+	}
+	b.ReportMetric(row.Speedup, "speedup-x")
+	b.ReportMetric(row.SerialMs, "serial-ms")
+	b.ReportMetric(row.ParallelMs, "parallel-ms")
+	f, err := os.Create("BENCH_parallel.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := core.WriteParallelBenchJSON(f, []core.ParallelBenchRow{row}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSeedSweep exercises the seed-sweep path behind afareport's
+// -seeds flag: Fig 9 at REPRO_SEEDS derived seeds (default 4) fanned out
+// in parallel, then pooled into one N×64-device fleet. Sweeps are the
+// cheap way to buy statistical depth — breadth parallelizes, -runtime
+// does not.
+func BenchmarkSeedSweep(b *testing.B) {
+	o := benchOpts()
+	n := 4
+	if v, _ := strconv.Atoi(os.Getenv("REPRO_SEEDS")); v > 0 {
+		n = v
+	}
+	var pooled core.Distribution
+	for i := 0; i < b.N; i++ {
+		sweep := core.RunSeedSweep(o, n, core.RunFig9)
+		pooled = core.MergeSweep("fig9-pooled", sweep)
+	}
+	printTable(b, "seedsweep", func() { core.WriteDistributionTable(os.Stdout, pooled) })
+	b.ReportMetric(float64(len(pooled.Ladders)), "fleet-size")
+	reportDistribution(b, pooled)
 }
 
 // BenchmarkSeqReadSaturation checks the Section III-B preliminary claim:

@@ -24,6 +24,18 @@
 //
 // -runtime scales fidelity: the default 2 s is quick; pass 120s for the
 // paper's full-length runs (no time compression of rare events).
+//
+// -parallel N fans the independent runs inside one experiment (configs,
+// Table II geometries, sweep seeds) across N workers; the default 0
+// means one worker per CPU. Reports are byte-identical at every width —
+// each run owns its engine and rng streams and results merge in
+// submission order (see DESIGN.md §7) — so -parallel only changes wall
+// time, never data.
+//
+// -seeds N reruns the single-configuration figures (6-9 and 11) at N
+// derived seeds (seed, seed+1, …) in parallel and appends a pooled row
+// merging all N fleets; sweep member i reproduces standalone with
+// -seed <seed+i>.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nvme"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -52,10 +65,16 @@ func main() {
 		ssds     = flag.Int("ssds", 64, "number of SSDs")
 		solo     = flag.Int("solo-runs", 8, "runs merged for the Fig 13(d) single-thread row (paper: 64)")
 		format   = flag.String("format", "text", "output format for figure data: text | json | csv")
+		parallel = flag.Int("parallel", 0, "worker pool width for independent runs; 0 = one per CPU (results are byte-identical at any width)")
+		seeds    = flag.Int("seeds", 1, "seed-sweep width for single-config figures 6-9 and 11 (seed, seed+1, ...; appends a pooled row)")
 	)
 	flag.Parse()
 	if *ablate == "" {
 		*ablate = *ablation
+	}
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "-seeds must be >= 1, got %d\n", *seeds)
+		os.Exit(2)
 	}
 
 	o := core.ExpOptions{
@@ -63,8 +82,14 @@ func main() {
 		Seed:     *seed,
 		NumSSDs:  *ssds,
 		SoloRuns: *solo,
+		Parallel: *parallel,
 	}
 	outputFormat = *format
+	sweepSeeds = *seeds
+	effectiveParallel = *parallel
+	if effectiveParallel <= 0 {
+		effectiveParallel = runner.DefaultParallel()
+	}
 
 	ran := false
 	if *all {
@@ -111,6 +136,43 @@ func main() {
 // outputFormat selects text/json/csv rendering for figure data.
 var outputFormat = "text"
 
+// sweepSeeds is the -seeds flag: how many derived seeds the
+// single-config figures fan out over (1 = no sweep).
+var sweepSeeds = 1
+
+// effectiveParallel is the resolved worker-pool width, for the
+// wall-clock banner.
+var effectiveParallel = 1
+
+// emitFigure renders a single-configuration figure, fanning it out
+// across -seeds derived seeds when a sweep was requested. The sweep
+// appends a "pooled" row merging all fleets, so quick runs can borrow
+// statistical depth from breadth instead of -runtime.
+func emitFigure(run func(core.ExpOptions) core.Distribution, o core.ExpOptions) {
+	if sweepSeeds <= 1 {
+		emitDistribution(run(o))
+		return
+	}
+	sweep := core.RunSeedSweep(o, sweepSeeds, run)
+	ds := append(sweep, core.MergeSweep("pooled", sweep))
+	switch outputFormat {
+	case "json":
+		if err := core.WriteDistributionsJSON(os.Stdout, ds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "csv":
+		for _, d := range ds {
+			if err := core.WriteDistributionCSV(os.Stdout, d); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		core.WriteComparisonTable(os.Stdout, ds)
+	}
+}
+
 // emitDistribution renders one figure's distribution in the chosen format.
 func emitDistribution(d core.Distribution) {
 	switch outputFormat {
@@ -133,21 +195,28 @@ func banner(format string, args ...any) {
 	fmt.Printf("\n=== "+format+" ===\n", args...)
 }
 
+// wallBanner prints the per-experiment wall-clock cost and the pool
+// width it was measured at. Wall time is the one number -parallel is
+// allowed to change; everything above this line is seed-determined.
+func wallBanner(t0 time.Time) {
+	fmt.Printf("[%v wall, parallel=%d]\n", time.Since(t0).Round(time.Millisecond), effectiveParallel) //afalint:allow wallclock -- wall-clock cost banner
+}
+
 func runFigure(n int, o core.ExpOptions) {
 	t0 := time.Now() //afalint:allow wallclock -- wall-clock cost banner, not simulated time
 	switch n {
 	case 6:
 		banner("Fig 6: latency distributions, default configuration")
-		emitDistribution(core.RunFig6(o))
+		emitFigure(core.RunFig6, o)
 	case 7:
 		banner("Fig 7: + FIO at SCHED_FIFO 99 (chrt)")
-		emitDistribution(core.RunFig7(o))
+		emitFigure(core.RunFig7, o)
 	case 8:
 		banner("Fig 8: + CPU isolation boot options")
-		emitDistribution(core.RunFig8(o))
+		emitFigure(core.RunFig8, o)
 	case 9:
 		banner("Fig 9: + IRQ affinity pinned (identical setup to Fig 13(a))")
-		emitDistribution(core.RunFig9(o))
+		emitFigure(core.RunFig9, o)
 	case 10:
 		banner("Fig 10: latency scatter, 32 SSDs, periodic SMART spikes")
 		r := core.RunFig10(o)
@@ -161,7 +230,7 @@ func runFigure(n int, o core.ExpOptions) {
 		}
 	case 11:
 		banner("Fig 11: experimental firmware (SMART disabled)")
-		emitDistribution(core.RunFig11(o))
+		emitFigure(core.RunFig11, o)
 	case 12:
 		banner("Fig 12: comparison of four system configurations")
 		core.WriteComparisonTable(os.Stdout, core.RunFig12(o))
@@ -177,7 +246,7 @@ func runFigure(n int, o core.ExpOptions) {
 		fmt.Fprintf(os.Stderr, "unknown figure %d (have 6-14)\n", n)
 		os.Exit(2)
 	}
-	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner
+	wallBanner(t0)
 }
 
 func runTable(n int) {
@@ -203,7 +272,7 @@ func runHeadline(o core.ExpOptions) {
 	banner("Headline: mean/σ of max latency, default vs tuned kernel")
 	t0 := time.Now() //afalint:allow wallclock -- wall-clock cost banner, not simulated time
 	core.WriteHeadline(os.Stdout, core.RunHeadline(o))
-	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner
+	wallBanner(t0)
 }
 
 func runAblation(kind string, o core.ExpOptions) {
@@ -265,5 +334,5 @@ func runAblation(kind string, o core.ExpOptions) {
 		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts, faults, recovery)\n", kind)
 		os.Exit(2)
 	}
-	fmt.Printf("[%v wall]\n", time.Since(t0).Round(time.Millisecond)) //afalint:allow wallclock -- wall-clock cost banner
+	wallBanner(t0)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/nvme"
 	"repro/internal/pts"
 	"repro/internal/raid"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -38,6 +39,18 @@ type ExpOptions struct {
 	// Geom overrides the NAND geometry (the used-state study needs a small
 	// one; see UsedStateGeom).
 	Geom nand.Geometry
+	// Parallel bounds how many independent sim runs are in flight when an
+	// experiment fans out over configurations, geometries, or sweep seeds
+	// (see internal/runner). 0 means one worker per CPU
+	// (runner.DefaultParallel); 1 forces the serial reference order.
+	// Results are byte-identical at every setting — each run owns its
+	// engine and rng streams, and results merge in submission order.
+	Parallel int
+}
+
+// runnerOpts translates the Parallel knob for internal/runner.
+func (o ExpOptions) runnerOpts() runner.Options {
+	return runner.Options{Parallel: o.Parallel}
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -79,6 +92,16 @@ func RunLatencyDistribution(cfg Config, o ExpOptions) Distribution {
 	sys := o.newSystem(cfg)
 	res := sys.RunFIO(RunSpec{Runtime: o.Runtime})
 	return NewDistribution(cfg.Name, res)
+}
+
+// runDistributions measures one latency distribution per configuration.
+// Each config is an independent run (own System, engine, rng streams),
+// so the batch fans out across o.Parallel workers; results come back in
+// config order, identical to the serial loop.
+func runDistributions(o ExpOptions, cfgs []Config) []Distribution {
+	return runner.Map(o.runnerOpts(), cfgs, func(_ int, cfg Config) Distribution {
+		return RunLatencyDistribution(cfg, o)
+	})
 }
 
 // RunFig6 reproduces Fig 6: latency distributions of 64 SSDs under the
@@ -139,13 +162,10 @@ func RunFig10(o ExpOptions) Fig10Result {
 }
 
 // RunFig12 reproduces Fig 12: the four kernel configurations' mean and
-// standard deviation at every ladder rung across 64 SSDs.
+// standard deviation at every ladder rung across 64 SSDs. The four
+// configurations run in parallel (see ExpOptions.Parallel).
 func RunFig12(o ExpOptions) []Distribution {
-	var out []Distribution
-	for _, cfg := range AllKernelConfigs() {
-		out = append(out, RunLatencyDistribution(cfg, o))
-	}
-	return out
+	return runDistributions(o, AllKernelConfigs())
 }
 
 // TableIIRow is one row of Table II.
@@ -210,15 +230,35 @@ func RunFig13(o ExpOptions) []Fig13Result {
 		}
 	}
 
-	var out []Fig13Result
-	for _, row := range TableII() {
-		var ladders []stats.Ladder
+	// Every (row, geometry) pair is a fresh boot (the paper reran fio on
+	// disjoint SSD sets), so the whole Table II matrix — including the 64
+	// solo runs of the 13(d) row — is one flat batch of independent jobs.
+	rows := TableII()
+	type fig13Job struct {
+		row int
+		g   *topology.Geometry
+	}
+	var jobs []fig13Job
+	for ri, row := range rows {
 		for _, g := range geoms(row) {
-			// Each run is a fresh boot (the paper reran fio on disjoint
-			// SSD sets).
-			sys := o.newSystem(cfg)
-			res := sys.RunFIO(RunSpec{Geometry: g, Runtime: o.Runtime})
-			ladders = append(ladders, Ladders(res)...)
+			jobs = append(jobs, fig13Job{row: ri, g: g})
+		}
+	}
+	ladderSets := runner.Map(o.runnerOpts(), jobs, func(_ int, j fig13Job) []stats.Ladder {
+		sys := o.newSystem(cfg)
+		res := sys.RunFIO(RunSpec{Geometry: j.g, Runtime: o.Runtime})
+		return Ladders(res)
+	})
+
+	// Merge in submission order: jobs (and therefore ladders) appear
+	// exactly where the serial loop would have put them.
+	var out []Fig13Result
+	for ri, row := range rows {
+		var ladders []stats.Ladder
+		for ji, j := range jobs {
+			if j.row == ri {
+				ladders = append(ladders, ladderSets[ji]...)
+			}
 		}
 		out = append(out, Fig13Result{
 			Row: row,
@@ -258,10 +298,11 @@ func (h Headline) StdImprovement() float64 {
 	return h.DefaultStdMax / h.TunedStdMax
 }
 
-// RunHeadline measures the abstract's ×8 / ×400 claim.
+// RunHeadline measures the abstract's ×8 / ×400 claim. The default and
+// tuned arms run in parallel.
 func RunHeadline(o ExpOptions) Headline {
-	def := RunLatencyDistribution(Default(), o)
-	tuned := RunLatencyDistribution(IRQAffinity(), o)
+	ds := runDistributions(o, []Config{Default(), IRQAffinity()})
+	def, tuned := ds[0], ds[1]
 	maxRung := stats.NumRungs - 1
 	return Headline{
 		DefaultMeanMax: def.Summary.Mean[maxRung],
@@ -279,25 +320,21 @@ func RunHeadline(o ExpOptions) Headline {
 // combined. The question the ablation answers: how much of the manual
 // tuning can better algorithms recover automatically?
 func RunFutureWorkAblation(o ExpOptions) []Distribution {
-	var out []Distribution
-	for _, cfg := range []Config{
+	return runDistributions(o, []Config{
 		Default(), FutureSched(), FutureIRQ(), FutureBoth(), IRQAffinity(),
-	} {
-		out = append(out, RunLatencyDistribution(cfg, o))
-	}
-	return out
+	})
 }
 
 // RunPollingAblation compares interrupt vs polling completion under the
-// tuned kernel (the Section V discussion).
+// tuned kernel (the Section V discussion). Both arms run in parallel.
 func RunPollingAblation(o ExpOptions) (interrupt, polling Distribution) {
 	o = o.withDefaults()
-	cfg := ExpFirmware()
-	interrupt = RunLatencyDistribution(cfg, o)
-	cfg.Name = "polling"
-	cfg.Mode = kernel.CompletePolling
-	polling = RunLatencyDistribution(cfg, o)
-	return interrupt, polling
+	intr := ExpFirmware()
+	poll := ExpFirmware()
+	poll.Name = "polling"
+	poll.Mode = kernel.CompletePolling
+	ds := runDistributions(o, []Config{intr, poll})
+	return ds[0], ds[1]
 }
 
 // PTSRound is one measurement round of the PTS-E latency test.
@@ -317,7 +354,8 @@ type PTSReport struct {
 // device (NVMe format → FOB), then run measurement rounds of 4 KiB QD1
 // random reads until the SNIA PTS-E steady-state criteria hold on the
 // fleet-average latency. One booted system is reused across rounds, as on
-// the testbed.
+// the testbed — the rounds feed back into the steady-state detector, so
+// this protocol is inherently sequential and never fans out.
 func RunPTSLatencyTest(cfg Config, o ExpOptions, roundLen sim.Duration, maxRounds int) PTSReport {
 	o = o.withDefaults()
 	if roundLen == 0 {
@@ -370,22 +408,27 @@ type TailAtScaleResult struct {
 // amount" (Section I).
 func RunTailAtScale(cfg Config, widths []int, o ExpOptions) []TailAtScaleResult {
 	o = o.withDefaults()
-	var out []TailAtScaleResult
-
-	// Per-SSD baseline under the same config.
-	base := o.newSystem(cfg)
-	baseRes := base.RunFIO(RunSpec{Runtime: o.Runtime})
-	perSSD := stats.NewHistogram()
-	for _, r := range baseRes {
-		if r != nil {
-			perSSD.Merge(r.Hist)
-		}
-	}
-	perLadder := stats.LadderOf(perSSD)
-
 	for _, w := range widths {
 		if w > o.NumSSDs {
 			panic(fmt.Sprintf("core: stripe width %d exceeds %d SSDs", w, o.NumSSDs))
+		}
+	}
+
+	// Job 0 is the per-SSD baseline under the same config; every other
+	// job is one striped client. All are independent boots, so the whole
+	// batch fans out; each returns the one ladder the comparison needs.
+	specs := append([]int{0}, widths...)
+	ladders := runner.Map(o.runnerOpts(), specs, func(_ int, w int) stats.Ladder {
+		if w == 0 {
+			base := o.newSystem(cfg)
+			baseRes := base.RunFIO(RunSpec{Runtime: o.Runtime})
+			perSSD := stats.NewHistogram()
+			for _, r := range baseRes {
+				if r != nil {
+					perSSD.Merge(r.Hist)
+				}
+			}
+			return stats.LadderOf(perSSD)
 		}
 		sys := o.newSystem(cfg)
 		stripe := make([]int, w)
@@ -397,14 +440,21 @@ func RunTailAtScale(cfg Config, widths []int, o ExpOptions) []TailAtScaleResult 
 			Stripe: stripe, CPU: cpu, Runtime: o.Runtime,
 			Class: cfg.FIOClass, RTPrio: cfg.FIORTPrio, Seed: o.Seed,
 		}})[0]
+		return res.Ladder
+	})
+
+	perLadder := ladders[0]
+	var out []TailAtScaleResult
+	for i, w := range widths {
+		client := ladders[i+1]
 		amp := 0.0
 		if perLadder.P[0] > 0 {
-			amp = float64(res.Ladder.P[0]) / float64(perLadder.P[0])
+			amp = float64(client.P[0]) / float64(perLadder.P[0])
 		}
 		out = append(out, TailAtScaleResult{
 			Config:        cfg.Name,
 			Width:         w,
-			Client:        res.Ladder,
+			Client:        client,
 			PerSSD:        perLadder,
 			Amplification: amp,
 		})
@@ -422,7 +472,8 @@ type CoalescingResult struct {
 
 // RunCoalescingAblation quantifies the interrupt-storm trade-off the paper
 // raises in Section I: NVMe interrupt coalescing cuts the interrupt rate
-// at some latency cost. Both runs use queue depth 8 so batches can form.
+// at some latency cost. Both runs use queue depth 8 so batches can form,
+// and run in parallel.
 func RunCoalescingAblation(o ExpOptions) (off, on CoalescingResult) {
 	o = o.withDefaults()
 	measure := func(cfg Config) CoalescingResult {
@@ -444,29 +495,32 @@ func RunCoalescingAblation(o ExpOptions) (off, on CoalescingResult) {
 
 	base := ExpFirmware()
 	base.Name = "no-coalesce"
-	off = measure(base)
 
 	co := ExpFirmware()
 	co.Name = "coalesce-4"
 	co.Coalesce = kernel.Coalescing{Threshold: 4, Timeout: 100 * sim.Microsecond}
-	on = measure(co)
-	return off, on
+
+	rs := runner.Map(o.runnerOpts(), []Config{base, co}, func(_ int, cfg Config) CoalescingResult {
+		return measure(cfg)
+	})
+	return rs[0], rs[1]
 }
 
 // RunFirmwareAblation compares the three firmware builds under the tuned
 // kernel: standard SMART, disabled, and the incremental protocol sketch.
+// The three builds run in parallel.
 func RunFirmwareAblation(o ExpOptions) []Distribution {
 	o = o.withDefaults()
-	var out []Distribution
+	var cfgs []Config
 	for _, kind := range []nvme.FirmwareKind{
 		nvme.FirmwareStandard, nvme.FirmwareNoSMART, nvme.FirmwareIncremental,
 	} {
 		cfg := IRQAffinity()
 		cfg.Firmware = kind
 		cfg.Name = "fw-" + kind.String()
-		out = append(out, RunLatencyDistribution(cfg, o))
+		cfgs = append(cfgs, cfg)
 	}
-	return out
+	return runDistributions(o, cfgs)
 }
 
 // RunUsedStateStudy is the paper's stated future work: latency in a used
@@ -486,16 +540,20 @@ func RunUsedStateStudy(o ExpOptions, fillFraction float64) (fob, used Distributi
 	cfg := ExpFirmware()
 
 	// Random writes are what separates the states: in FOB they stream into
-	// fresh blocks, in the used state they drag foreground GC along.
-	fobSys := o.newSystem(cfg)
-	fob = NewDistribution("fob", fobSys.RunFIO(RunSpec{Runtime: o.Runtime, RW: fio.RandWrite}))
-
-	usedSys := o.newSystem(cfg)
-	for _, d := range usedSys.SSDs {
-		d.Flash.Precondition(fillFraction)
-	}
-	used = NewDistribution("used", usedSys.RunFIO(RunSpec{Runtime: o.Runtime, RW: fio.RandWrite}))
-	return fob, used
+	// fresh blocks, in the used state they drag foreground GC along. The
+	// two states are independent boots and run in parallel.
+	ds := runner.Map(o.runnerOpts(), []bool{false, true}, func(_ int, precondition bool) Distribution {
+		sys := o.newSystem(cfg)
+		name := "fob"
+		if precondition {
+			name = "used"
+			for _, d := range sys.SSDs {
+				d.Flash.Precondition(fillFraction)
+			}
+		}
+		return NewDistribution(name, sys.RunFIO(RunSpec{Runtime: o.Runtime, RW: fio.RandWrite}))
+	})
+	return ds[0], ds[1]
 }
 
 // UsedStateGeom returns the geometry for the used-state study: small

@@ -106,6 +106,30 @@ func WriteFig10CSV(w io.Writer, r Fig10Result) error {
 	return cw.Error()
 }
 
+// ParallelBenchRow is one serial-vs-parallel wall-clock measurement of
+// an experiment fan-out (bench_test.go's BenchmarkParallelSpeedup);
+// BENCH_parallel.json holds a list of them.
+type ParallelBenchRow struct {
+	// Experiment names the fan-out being timed, e.g. "fig12+fig13".
+	Experiment string `json:"experiment"`
+	// Parallel is the worker-pool width of the parallel arm
+	// (runner.DefaultParallel when the flag was 0).
+	Parallel int `json:"parallel"`
+	// SerialMs/ParallelMs are wall-clock, not simulated, times.
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	// Speedup is SerialMs / ParallelMs.
+	Speedup float64 `json:"speedup_x"`
+}
+
+// WriteParallelBenchJSON emits the speedup summary as indented JSON,
+// through the same export path the distribution reports use.
+func WriteParallelBenchJSON(w io.Writer, rows []ParallelBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
 // ReadDistributionJSON parses what WriteDistributionJSON wrote — round-trip
 // support for external tooling and tests.
 func ReadDistributionJSON(rd io.Reader) (Distribution, error) {

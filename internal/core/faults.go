@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/raid"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -102,12 +103,33 @@ func RunFaultAblation(o ExpOptions) []FaultRun {
 		return out
 	}
 
-	plan := DemoFaultPlan(o.Runtime)
-	return []FaultRun{
-		run("clean", IRQAffinity(), nil, nil),
-		run("faulted", IRQAffinity(), &plan, nil),
-		run("tolerant", FaultTolerance(), &plan, raid.DefaultTolerance(FaultStripeWidth)),
+	// The three arms are independent boots and fan out in parallel. Each
+	// arm builds its own plan and tolerance inside its job — DemoFaultPlan
+	// is a pure function of the horizon — so no fault-schedule state is
+	// shared across workers.
+	type faultArm struct {
+		name     string
+		cfg      Config
+		faulted  bool
+		tolerant bool
 	}
+	arms := []faultArm{
+		{name: "clean", cfg: IRQAffinity()},
+		{name: "faulted", cfg: IRQAffinity(), faulted: true},
+		{name: "tolerant", cfg: FaultTolerance(), faulted: true, tolerant: true},
+	}
+	return runner.Map(o.runnerOpts(), arms, func(_ int, a faultArm) FaultRun {
+		var plan *fault.Plan
+		if a.faulted {
+			p := DemoFaultPlan(o.Runtime)
+			plan = &p
+		}
+		var tol *raid.Tolerance
+		if a.tolerant {
+			tol = raid.DefaultTolerance(FaultStripeWidth)
+		}
+		return run(a.name, a.cfg, plan, tol)
+	})
 }
 
 // RecoveryResult is the drop-out/recovery time series: per-window maximum

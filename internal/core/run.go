@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fio"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -115,4 +116,34 @@ type Distribution struct {
 func NewDistribution(cfg string, results []*fio.Result) Distribution {
 	l := Ladders(results)
 	return Distribution{Config: cfg, Ladders: l, Summary: stats.Summarize(l)}
+}
+
+// RunSeedSweep reruns a single-distribution experiment at n derived
+// seeds (runner.Seeds: o.Seed, o.Seed+1, …) and returns the per-seed
+// distributions in sweep order, each tagged "config#seed". The runs are
+// independent systems and fan out across ExpOptions.Parallel workers —
+// parallel seed sweeps are what make calibration experiments (e.g. the
+// per-drive hedge-quantile study in ROADMAP.md) cheap. Any sweep run is
+// reproducible by hand: position i is exactly the unswept experiment at
+// `-seed o.Seed+i`.
+func RunSeedSweep(o ExpOptions, n int, run func(ExpOptions) Distribution) []Distribution {
+	o = o.withDefaults()
+	return runner.Map(o.runnerOpts(), runner.Seeds(o.Seed, n), func(_ int, seed uint64) Distribution {
+		so := o
+		so.Seed = seed
+		d := run(so)
+		d.Config = fmt.Sprintf("%s#%d", d.Config, seed)
+		return d
+	})
+}
+
+// MergeSweep pools every per-seed ladder of a sweep into one
+// distribution, so n seeds × m SSDs read as one n·m-device fleet — the
+// cheap way to grow tail-percentile resolution without longer runs.
+func MergeSweep(name string, ds []Distribution) Distribution {
+	var ladders []stats.Ladder
+	for _, d := range ds {
+		ladders = append(ladders, d.Ladders...)
+	}
+	return Distribution{Config: name, Ladders: ladders, Summary: stats.Summarize(ladders)}
 }

@@ -15,7 +15,9 @@
 //   - maporder:      no iteration over maps in non-test internal code
 //     unless the keys are collected and sorted first.
 //   - nogoroutine:   no goroutines, channels, select, or sync in the
-//     single-threaded sim-core packages.
+//     single-threaded sim-core packages, and no sim-core import of the
+//     orchestration tier (internal/runner) — the one sanctioned home
+//     for concurrency, which sits strictly above the event loop.
 //   - floatcompare:  no ==/!= on floats and no float map keys in
 //     sim-core code.
 //
@@ -181,4 +183,25 @@ func isSimCore(path string) bool {
 	}
 	rest := path[strings.LastIndex(path, "internal/")+len("internal/"):]
 	return simCorePackages[rest]
+}
+
+// orchestrationPackages are the other side of the two-tier concurrency
+// contract (DESIGN.md §7): the packages sanctioned to use goroutines,
+// channels, and sync, because they fan *independent* sim runs out
+// across CPUs — each job owns its engine and rng streams, and results
+// merge in submission order, so no simulation state ever crosses a
+// goroutine. The boundary is one-way: nogoroutine also forbids the
+// sim-core packages from importing anything listed here.
+var orchestrationPackages = map[string]bool{
+	"runner": true,
+}
+
+// isOrchestration reports whether path is one of the orchestration-tier
+// packages (internal/<name> with <name> in the orchestration set).
+func isOrchestration(path string) bool {
+	if !isInternal(path) {
+		return false
+	}
+	rest := path[strings.LastIndex(path, "internal/")+len("internal/"):]
+	return orchestrationPackages[rest]
 }

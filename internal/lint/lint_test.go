@@ -26,6 +26,10 @@ var fixtureCases = []struct {
 	{"floatcompare", "repro/internal/fault"},
 	{"wallclock", "repro/internal/fault"},
 	{"globalrand", "repro/internal/fault"},
+	// The two-tier concurrency boundary (DESIGN.md §7): a sim-core
+	// package importing the orchestration tier is a finding.
+	{"boundary", "repro/internal/sim"},
+	{"boundary", "repro/internal/kernel"},
 }
 
 // wantMarker matches expectation comments in fixtures: a finding of
@@ -104,6 +108,11 @@ func TestScopeExclusions(t *testing.T) {
 		{"floatcompare", "repro/internal/stats"},
 		{"nogoroutine", "repro/cmd/tool"}, // not even internal
 		{"globalrand", "repro/internal/rng"},
+		// The orchestration tier is the sanctioned home for concurrency:
+		// goroutines, channels, select, and sync are all legal there …
+		{"nogoroutine", "repro/internal/runner"},
+		// … as is, trivially, depending on orchestration machinery.
+		{"boundary", "repro/internal/stats"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir+"@"+c.path, func(t *testing.T) {

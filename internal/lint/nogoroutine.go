@@ -11,12 +11,20 @@ import (
 // comes from the (time, seq) total order of its event heap — so any
 // goroutine, channel, select, or sync primitive inside the core either
 // does nothing or introduces scheduling races into results.
+//
+// Concurrency does have one sanctioned home: the orchestration tier
+// (internal/runner), which parallelizes across *independent* runs
+// rather than inside one. The rule polices that boundary in the only
+// direction that can break determinism — a sim-core package importing
+// an orchestration package would let fan-out machinery reach into the
+// event loop, so such imports are findings too. The orchestration
+// packages themselves are out of this rule's scope by construction.
 type nogoroutineRule struct{}
 
 func (nogoroutineRule) Name() string { return "nogoroutine" }
 
 func (nogoroutineRule) Doc() string {
-	return "no goroutines, channels, select, or sync/sync-atomic in the single-threaded sim-core packages"
+	return "no goroutines, channels, select, sync/sync-atomic, or orchestration-tier imports in the single-threaded sim-core packages"
 }
 
 func (nogoroutineRule) Check(p *Package) []Finding {
@@ -33,6 +41,9 @@ func (nogoroutineRule) Check(p *Package) []Finding {
 			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
 				if path == "sync" || path == "sync/atomic" {
 					add(spec.Pos(), "import of "+path)
+				}
+				if isOrchestration(path) {
+					add(spec.Pos(), "import of orchestration package "+path)
 				}
 			}
 		}

@@ -1,0 +1,22 @@
+// Fixture for the two-tier concurrency boundary (DESIGN.md §7): a
+// sim-core package reaching for the orchestration layer. The import
+// itself is the violation — fan-out belongs strictly above the event
+// loop, and the simulator core must stay oblivious to it. The same
+// file loaded under an orchestration or plain-internal path is clean.
+package fixture
+
+import (
+	"repro/internal/runner" // want:nogoroutine
+)
+
+// poolWidth leaks orchestration policy into the core: a model component
+// sizing itself by host CPU count would couple results to the machine.
+func poolWidth() int { return runner.DefaultParallel() }
+
+// fanOut is the tempting mistake the boundary exists to block: mapping
+// over per-device work from inside the simulated host.
+func fanOut(devices []int) []int {
+	return runner.Map(runner.Options{}, devices, func(_ int, d int) int {
+		return d * 2
+	})
+}

@@ -1,0 +1,132 @@
+// Package runner is the orchestration layer of the two-tier concurrency
+// contract (DESIGN.md §7): a deterministic worker-pool map for
+// independent simulation runs.
+//
+// The simulator core is single-threaded by contract — determinism comes
+// from sim.Engine's total (time, seq) event order — so one run can never
+// be parallelized. But an *experiment* is a batch of runs that share
+// nothing: each boots its own core.System, owns its own engine and rng
+// streams, and produces a value. Map exploits that embarrassing
+// parallelism while keeping the output byte-identical to the serial
+// loop:
+//
+//   - every job is handed its submission index and writes only its own
+//     result slot, so results merge in submission order regardless of
+//     which worker finishes first;
+//   - workers share no simulation state — the worker function must build
+//     everything it touches from its spec (the lint boundary enforces
+//     the inverse direction: sim-core packages may not import runner);
+//   - a panicking job does not crash a worker goroutine silently; the
+//     lowest-indexed panic is re-raised on the caller's goroutine, which
+//     is exactly the panic a serial loop would have surfaced first.
+//
+// This is the one package under internal/ where goroutines, channels,
+// and sync are sanctioned; afalint's nogoroutine rule knows it as the
+// orchestration tier and keeps the sim core strict.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Options bound the worker pool.
+type Options struct {
+	// Parallel is the maximum number of jobs in flight. 0 (or negative)
+	// means DefaultParallel(); 1 degenerates to the serial reference
+	// loop. The produced results are identical at every setting — only
+	// wall-clock time changes.
+	Parallel int
+}
+
+// DefaultParallel is the pool width used when Options.Parallel is 0:
+// one worker per available CPU.
+func DefaultParallel() int { return runtime.GOMAXPROCS(0) }
+
+// workers resolves the effective pool width for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Parallel
+	if w <= 0 {
+		w = DefaultParallel()
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Map runs worker(i, specs[i]) for every spec on a pool of goroutines
+// and returns the results indexed by spec position. The output is
+// byte-identical to the serial loop
+//
+//	for i, s := range specs { out[i] = worker(i, s) }
+//
+// for any Parallel setting, because each job computes independently and
+// results land at their submission index. worker must not share mutable
+// state across jobs; in this repo every job boots its own core.System.
+func Map[S, R any](opt Options, specs []S, worker func(i int, spec S) R) []R {
+	n := len(specs)
+	out := make([]R, n)
+	w := opt.workers(n)
+	if w <= 1 {
+		// Serial reference path: same order, same stack for panics.
+		for i, s := range specs {
+			out[i] = worker(i, s)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	panics := make([]any, n)
+	panicked := make([]bool, n)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runJob(i, specs[i], worker, out, panics, panicked)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Re-raise the panic the serial loop would have hit first, on the
+	// caller's goroutine, so misuse panics (bad stripe widths,
+	// impossible geometries) keep their serial semantics.
+	for i := range panicked {
+		if panicked[i] {
+			panic(panics[i])
+		}
+	}
+	return out
+}
+
+// runJob executes one job, capturing a panic instead of killing the
+// worker goroutine. Each job writes only its own slots, so the slices
+// need no locking.
+func runJob[S, R any](i int, spec S, worker func(int, S) R, out []R, panics []any, panicked []bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+			panicked[i] = true
+		}
+	}()
+	out[i] = worker(i, spec)
+}
+
+// Seeds derives n per-run seeds for a seed sweep: base, base+1, …,
+// base+n-1. Sequential seeds are deliberate — every component already
+// decorrelates its streams by splitmix-scrambling the seed with a
+// per-component label (internal/rng), and a run from sweep position i
+// is reproducible by hand with `-seed base+i`. Seeds(base, n)[0] ==
+// base, so a 1-wide sweep is exactly the unswept run.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}

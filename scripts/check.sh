@@ -5,9 +5,17 @@
 #   vet       — stdlib static checks;
 #   afalint   — the determinism contract (DESIGN.md §5): no wall clock,
 #               no global rand, no map-order dependence, no concurrency
-#               or float equality in the sim core;
-#   race test — full suite under the race detector (the sim is
-#               single-threaded by contract, so this must be silent);
+#               or float equality in the sim core, no sim-core import of
+#               the orchestration tier (DESIGN.md §7);
+#   race test — full suite under the race detector (the sim core is
+#               single-threaded by contract and the runner tier merges
+#               in submission order, so this must be silent);
+#   shuffle   — full suite again with test order shuffled: no test may
+#               depend on state another test left behind;
+#   parallel  — the serial-vs-parallel determinism cross-check re-run
+#               under -race: exported reports must be byte-identical at
+#               -parallel 1 and 8, and the worker pool must be clean
+#               under the detector;
 #   fault     — the fault-injection and tolerance paths re-run under
 #               -race with full verbosity counts: the timeout/abort/hedge
 #               machinery is the most callback-entangled code in the tree.
@@ -18,4 +26,6 @@ go build ./...
 go vet ./...
 go run ./cmd/afalint ./...
 go test -race ./...
+go test -shuffle=on ./...
+go test -race -count=1 -run 'TestParallelDeterminism|TestMap' ./internal/core/ ./internal/runner/
 go test -race -count=1 ./internal/fault/ ./internal/kernel/ ./internal/raid/
