@@ -11,16 +11,25 @@
 //	afalint ./internal/sim        # one package
 //	afalint ./internal/...        # a subtree
 //	afalint -rules                # describe the rules and exit
+//	afalint -doc                  # emit the rule table as markdown
 //	afalint -json ./...           # findings as JSON
+//	afalint -gha ./...            # findings as GitHub Actions annotations
 //
 //	# lint a bare directory (e.g. the fixture corpus) as if it were
 //	# the named package; the import path controls rule scoping:
 //	afalint -as repro/internal/sim ./internal/lint/testdata/nogoroutine
 //
-// Findings print as file:line:col with the rule name; the exit status
-// is 0 when clean, 1 when findings exist, and 2 on a usage or load
-// error. A finding is suppressed by annotating the offending line (or
-// the line above) with:
+//	# record today's findings as accepted debt, then run against it:
+//	afalint -write-baseline lint.baseline ./...
+//	afalint -baseline lint.baseline ./...
+//
+// Findings print as file:line:col with the rule name, sorted by
+// position so output is byte-stable across runs; the exit status is 0
+// when clean (or when every finding is covered by the -baseline file),
+// 1 when findings remain, and 2 on a usage or load error. Baseline
+// entries no current finding matches are reported as stale on stderr.
+// A finding is suppressed permanently by annotating the offending line
+// (or the line above) with:
 //
 //	//afalint:allow <rule> [<rule>...] -- <reason>
 //
@@ -41,9 +50,13 @@ import (
 
 func main() {
 	var (
-		asJSON    = flag.Bool("json", false, "emit findings as a JSON array")
-		listRules = flag.Bool("rules", false, "describe the determinism rules and exit")
-		asPath    = flag.String("as", "", "lint a single directory under this import path (scope override)")
+		asJSON        = flag.Bool("json", false, "emit findings as a JSON array")
+		asGHA         = flag.Bool("gha", false, "emit findings as GitHub Actions ::error annotations")
+		listRules     = flag.Bool("rules", false, "describe the determinism rules and exit")
+		asDoc         = flag.Bool("doc", false, "emit the rule table as markdown and exit")
+		asPath        = flag.String("as", "", "lint a single directory under this import path (scope override)")
+		baselinePath  = flag.String("baseline", "", "filter findings through this baseline file; stale entries warn on stderr")
+		writeBaseline = flag.String("write-baseline", "", "record current findings to this baseline file and exit")
 	)
 	flag.Parse()
 
@@ -51,6 +64,10 @@ func main() {
 		for _, r := range lint.AllRules() {
 			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
 		}
+		return
+	}
+	if *asDoc {
+		fmt.Print(ruleDoc())
 		return
 	}
 
@@ -95,13 +112,49 @@ func main() {
 	}
 
 	findings := lint.Run(selected, lint.AllRules())
-	if *asJSON {
+	// Run sorts, but output order is this command's contract with CI
+	// diffing and the baseline file: keep it byte-stable here regardless
+	// of how the library evolves.
+	lint.SortFindings(findings)
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, lint.WriteBaseline(findings, root), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "afalint: recorded %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := lint.ParseBaseline(data)
+		if err != nil {
+			fatal(err)
+		}
+		kept, suppressed, stale := b.Filter(findings, root)
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "afalint: stale baseline entry (fixed? delete it): %s\n", s)
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "afalint: %d finding(s) covered by baseline %s\n", suppressed, *baselinePath)
+		}
+		findings = kept
+	}
+
+	switch {
+	case *asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {
 			fatal(err)
 		}
-	} else {
+	case *asGHA:
+		for _, f := range findings {
+			fmt.Println(ghaAnnotation(f, root))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -112,6 +165,33 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// ghaAnnotation renders one finding as a GitHub Actions workflow
+// command so CI failures annotate the offending line in the diff view.
+// Paths are relativized to the module root (GitHub resolves them
+// against the checkout). The message escaping follows the workflow
+// command spec: %, CR, and LF in the free text.
+func ghaAnnotation(f lint.Finding, root string) string {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=afalint/%s::%s",
+		file, f.Pos.Line, f.Pos.Column, f.Rule, esc.Replace(f.Msg))
+}
+
+// ruleDoc renders the rule table as markdown, the generated half of the
+// rule documentation in README.md and DESIGN.md §5.
+func ruleDoc() string {
+	var sb strings.Builder
+	sb.WriteString("| Rule | What it enforces |\n")
+	sb.WriteString("|------|------------------|\n")
+	for _, r := range lint.AllRules() {
+		sb.WriteString(fmt.Sprintf("| `%s` | %s |\n", r.Name(), r.Doc()))
+	}
+	return sb.String()
 }
 
 func fatal(err error) {

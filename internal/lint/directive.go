@@ -1,0 +1,67 @@
+package lint
+
+import "strings"
+
+// ParseAllowDirective parses the text of one suppression comment,
+//
+//	//afalint:allow <rule> [<rule>...] [-- reason]
+//
+// returning the allowed rule names and the free-text reason. ok is
+// false when text is not an allow directive at all or names no rules
+// (a bare "//afalint:allow" or "//afalint:allow -- why" suppresses
+// nothing — better loud than silently over-suppressing).
+//
+// Everything after the first standalone "--" field is reason text and
+// is never treated as a rule name, so a reason that happens to mention
+// another rule ("-- see maporder note") cannot widen the suppression.
+func ParseAllowDirective(text string) (rules []string, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, AllowDirective)
+	if !found {
+		return nil, "", false
+	}
+	// Require a separator after the prefix so "//afalint:allowed" or
+	// future directives like "//afalint:allow-file" do not parse as this
+	// one.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false
+	}
+	fields := strings.Fields(rest)
+	for i, f := range fields {
+		if f == "--" {
+			reason = strings.Join(fields[i+1:], " ")
+			break
+		}
+		rules = append(rules, f)
+	}
+	if len(rules) == 0 {
+		// A rule-less directive suppresses nothing, so it carries no
+		// meaningful reason either: all-zero on every failure path.
+		return nil, "", false
+	}
+	return rules, reason, true
+}
+
+// collectAllows parses every //afalint:allow directive in the package
+// into the (file, line) → rule-set index the engine consults.
+func collectAllows(p *Package) allowSet {
+	out := allowSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, _, ok := ParseAllowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := allowKey{pos.Filename, pos.Line}
+				if out[key] == nil {
+					out[key] = map[string]bool{}
+				}
+				for _, name := range rules {
+					out[key][name] = true
+				}
+			}
+		}
+	}
+	return out
+}

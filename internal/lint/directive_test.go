@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestParseAllowDirective pins the directive grammar, in particular the
+// "--" boundary: reason text must never widen the suppression, even
+// when it mentions other rule names.
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		rules  []string
+		reason string
+		ok     bool
+	}{
+		{"//afalint:allow wallclock", []string{"wallclock"}, "", true},
+		{"//afalint:allow wallclock maporder", []string{"wallclock", "maporder"}, "", true},
+		{"//afalint:allow wallclock -- self-timing banner", []string{"wallclock"}, "self-timing banner", true},
+		// The v1 parser bug this grammar fixes: a reason mentioning a rule
+		// name must not suppress that rule.
+		{"//afalint:allow wallclock -- see the maporder note", []string{"wallclock"}, "see the maporder note", true},
+		{"//afalint:allow simtime --", []string{"simtime"}, "", true},
+		// Degenerate forms suppress nothing.
+		{"//afalint:allow", nil, "", false},
+		{"//afalint:allow   ", nil, "", false},
+		{"//afalint:allow -- why though", nil, "", false},
+		// Not this directive at all.
+		{"// afalint:allow wallclock", nil, "", false},
+		{"//afalint:allowed wallclock", nil, "", false},
+		{"//afalint:allow-file wallclock", nil, "", false},
+		{"//nolint:wallclock", nil, "", false},
+	}
+	for _, c := range cases {
+		rules, reason, ok := ParseAllowDirective(c.in)
+		if ok != c.ok || reason != c.reason || strings.Join(rules, ",") != strings.Join(c.rules, ",") {
+			t.Errorf("ParseAllowDirective(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				c.in, rules, reason, ok, c.rules, c.reason, c.ok)
+		}
+	}
+}
+
+// FuzzParseAllowDirective fuzzes the directive parser with arbitrary
+// comment text and asserts its structural invariants: no panics, rule
+// names are non-empty whitespace-free fields of the input that precede
+// any "--" separator, ok implies at least one rule, and non-directives
+// never parse.
+func FuzzParseAllowDirective(f *testing.F) {
+	seeds := []string{
+		"//afalint:allow wallclock",
+		"//afalint:allow wallclock globalrand -- two rules, one reason",
+		"//afalint:allow -- reason with no rules",
+		"//afalint:allow --",
+		"//afalint:allow\twallclock\t--\ttabbed",
+		"//afalint:allow  doubled  spaces  --  padded  reason",
+		"//afalint:allow nbsp",
+		"//afalint:allow rule -- -- double separator",
+		"//afalint:allow -- wallclock",
+		"//afalint:allowwallclock",
+		"//afalint:allow\n",
+		"//afalint:allow \x00\x01\x02",
+		"//afalint:allow 🎲 -- emoji rule",
+		"// afalint:allow leading-space",
+		"/*afalint:allow block*/",
+		"//afalint:al",
+		strings.Repeat("//afalint:allow x ", 100),
+		"//afalint:allow " + strings.Repeat("r", 10000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, reason, ok := ParseAllowDirective(text)
+		if ok && len(rules) == 0 {
+			t.Fatalf("ok with no rules for %q", text)
+		}
+		if !ok && len(rules) != 0 {
+			t.Fatalf("not-ok but returned rules %v for %q", rules, text)
+		}
+		if (len(rules) > 0 || reason != "" || ok) && !strings.HasPrefix(text, AllowDirective) {
+			t.Fatalf("non-directive %q produced output (%v, %q, %v)", text, rules, reason, ok)
+		}
+		for _, r := range rules {
+			if r == "" || r == "--" {
+				t.Fatalf("degenerate rule name %q parsed from %q", r, text)
+			}
+			if strings.IndexFunc(r, unicode.IsSpace) >= 0 {
+				t.Fatalf("rule name %q contains whitespace (from %q)", r, text)
+			}
+			if !strings.Contains(text, r) {
+				t.Fatalf("rule %q is not a substring of the input %q", r, text)
+			}
+		}
+		// The reason never leaks into the rule set: everything after the
+		// first standalone "--" must be absent from rules.
+		if i := indexField(text, "--"); i >= 0 {
+			after := strings.Fields(text[i+2:])
+			for _, r := range rules {
+				for _, a := range after {
+					if r == a && !fieldBefore(text, r, i) {
+						t.Fatalf("rule %q parsed from reason text of %q", r, text)
+					}
+				}
+			}
+		}
+	})
+}
+
+// indexField finds the byte offset of the first whitespace-delimited
+// occurrence of field in s, or -1.
+func indexField(s, field string) int {
+	off := 0
+	for _, f := range strings.Fields(s) {
+		i := strings.Index(s[off:], f)
+		if i < 0 {
+			return -1
+		}
+		if f == field {
+			return off + i
+		}
+		off += i + len(f)
+	}
+	return -1
+}
+
+// fieldBefore reports whether field occurs as a whitespace-delimited
+// field of s strictly before byte offset limit.
+func fieldBefore(s, field string, limit int) bool {
+	off := 0
+	for _, f := range strings.Fields(s) {
+		i := strings.Index(s[off:], f)
+		if i < 0 {
+			return false
+		}
+		if off+i >= limit {
+			return false
+		}
+		if f == field {
+			return true
+		}
+		off += i + len(f)
+	}
+	return false
+}

@@ -21,6 +21,20 @@
 //   - floatcompare:  no ==/!= on floats and no float map keys in
 //     sim-core code.
 //
+// On top of the per-file rules, a module-wide call graph (callgraph.go)
+// powers the whole-program rules added in v2:
+//
+//   - reachwallclock: no call chain from a sim-core exported function
+//     to a wall-clock read or os host state, however indirect.
+//   - reachrand:      no call chain from a sim-core exported function
+//     to math/rand, math/rand/v2, or crypto/rand.
+//   - exhaustive:     a switch over a sim-core enum type covers every
+//     declared constant or has an explicit default.
+//   - simtime:        unit safety on sim.Time/sim.Duration arithmetic
+//     (no Time+Time, no Time*k, no raw ≥1e6 ns literals).
+//   - rngstream:      rng streams used in a runner.Map job are created
+//     inside the job closure and never escape it.
+//
 // A finding on a given line is suppressed by the directive
 //
 //	//afalint:allow <rule> [<rule>...] [-- reason]
@@ -57,7 +71,8 @@ type Rule interface {
 	Check(p *Package) []Finding
 }
 
-// AllRules returns every rule in canonical order.
+// AllRules returns every rule in canonical order: the per-file rules
+// of v1, then the call-graph and type-driven rules of v2.
 func AllRules() []Rule {
 	return []Rule{
 		wallclockRule{},
@@ -65,15 +80,28 @@ func AllRules() []Rule {
 		maporderRule{},
 		nogoroutineRule{},
 		floatcompareRule{},
+		reachwallclockRule{},
+		reachrandRule{},
+		exhaustiveRule{},
+		simtimeRule{},
+		rngstreamRule{},
 	}
 }
 
 // AllowDirective is the comment prefix that suppresses findings.
 const AllowDirective = "//afalint:allow"
 
-// Run applies rules to every package, drops suppressed findings, and
-// returns the rest sorted by position then rule.
+// Run assembles the whole-program view (module call graph) over pkgs,
+// applies rules to every package, drops suppressed findings, and
+// returns the rest sorted by (file, line, col, rule). When Run is given
+// a subset of the module, the call graph covers just that subset, which
+// narrows what the reach* rules can see; the self-check and CI always
+// run the whole module.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	prog := NewProgram(pkgs)
+	for _, p := range pkgs {
+		p.prog = prog
+	}
 	var out []Finding
 	for _, p := range pkgs {
 		allowed := collectAllows(p)
@@ -86,6 +114,14 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 			}
 		}
 	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by (file, line, col, rule) — the one
+// byte-stable order every output path (text, -json, -gha, baselines)
+// emits, regardless of package load or rule execution order.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -99,7 +135,6 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }
 
 // allowKey identifies one (file, line) a directive applies to.
@@ -120,33 +155,6 @@ func (a allowSet) permits(rule string, pos token.Position) bool {
 		}
 	}
 	return false
-}
-
-// collectAllows parses every //afalint:allow directive in the package.
-// Everything after the directive is whitespace-split; a finding is
-// suppressed when its rule name appears among the fields (trailing
-// free-text reasons are harmless because they never equal a rule name).
-func collectAllows(p *Package) allowSet {
-	out := allowSet{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
-				if !ok {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				key := allowKey{pos.Filename, pos.Line}
-				if out[key] == nil {
-					out[key] = map[string]bool{}
-				}
-				for _, name := range strings.Fields(rest) {
-					out[key][name] = true
-				}
-			}
-		}
-	}
-	return out
 }
 
 // finding builds a Finding for a node position in p.

@@ -30,6 +30,16 @@ var fixtureCases = []struct {
 	// package importing the orchestration tier is a finding.
 	{"boundary", "repro/internal/sim"},
 	{"boundary", "repro/internal/kernel"},
+	// v2 whole-program rules. The reach fixtures must load as sim-core
+	// (entry points are sim-core exported functions); the enum, unit, and
+	// stream-ownership fixtures live above the core like their real
+	// counterparts.
+	{"reachwallclock", "repro/internal/sim"},
+	{"reachwallclock", "repro/internal/fault"},
+	{"reachrand", "repro/internal/sim"},
+	{"exhaustive", "repro/internal/fixture"},
+	{"simtime", "repro/internal/fixture"},
+	{"rngstream", "repro/internal/fixture"},
 }
 
 // wantMarker matches expectation comments in fixtures: a finding of
@@ -163,7 +173,75 @@ func TestRuleMetadata(t *testing.T) {
 		}
 		seen[r.Name()] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected 5 rules, have %d", len(seen))
+	if len(seen) != 10 {
+		t.Errorf("expected 10 rules, have %d", len(seen))
+	}
+}
+
+// ruleByName selects one rule from AllRules.
+func ruleByName(t *testing.T, name string) Rule {
+	t.Helper()
+	for _, r := range AllRules() {
+		if r.Name() == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule named %q", name)
+	return nil
+}
+
+// TestReachCatchesWhatWallclockMisses is the acceptance regression for
+// whole-program analysis: on the same fixture, the v1 wallclock rule
+// alone is blind to the indirect chain (its only finding is the direct
+// call; the locally excused helper is suppressed), while reachwallclock
+// attributes the chain to the sim-core entry point with the full path
+// in the message.
+func TestReachCatchesWhatWallclockMisses(t *testing.T) {
+	p := loadFixture(t, "reachwallclock", "repro/internal/sim")
+
+	v1 := Run([]*Package{p}, []Rule{ruleByName(t, "wallclock")})
+	for _, f := range v1 {
+		if f.Pos.Line != 30 { // the direct time.Now in Direct()
+			t.Errorf("wallclock alone should only see the direct call, got %v", f)
+		}
+	}
+	if len(v1) != 1 {
+		t.Fatalf("wallclock alone: want exactly the direct finding, got %v", v1)
+	}
+
+	v2 := Run([]*Package{p}, []Rule{ruleByName(t, "wallclock"), ruleByName(t, "reachwallclock")})
+	var chains []string
+	for _, f := range v2 {
+		if f.Rule == "reachwallclock" {
+			chains = append(chains, f.Msg)
+		}
+	}
+	if len(chains) != 3 {
+		t.Fatalf("want 3 reachwallclock findings (Indirect, HostState, DirectHost), got %v", chains)
+	}
+	wantChain := regexp.MustCompile(`fixture\.Indirect → fixture\.viaHelper → fixture\.excused → time\.Now`)
+	found := false
+	for _, msg := range chains {
+		if wantChain.MatchString(msg) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding carries the full indirect call chain; got %v", chains)
+	}
+}
+
+// TestReachScopedToSimCore loads the reach fixtures under a
+// non-sim-core path: the per-site rules keep their findings, but no
+// reach* finding may anchor there — reporting code may legally call
+// helpers that a CLI has excused.
+func TestReachScopedToSimCore(t *testing.T) {
+	for _, dir := range []string{"reachwallclock", "reachrand"} {
+		p := loadFixture(t, dir, "repro/internal/stats")
+		for _, f := range Run([]*Package{p}, AllRules()) {
+			if f.Rule == "reachwallclock" || f.Rule == "reachrand" {
+				t.Errorf("%s fired outside sim-core: %v", f.Rule, f)
+			}
+		}
 	}
 }

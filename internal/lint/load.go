@@ -34,8 +34,15 @@ type Package struct {
 	// missing when the package has type errors; rules degrade to
 	// syntax-only checks in that case.
 	Info *types.Info
+	// Types is the checked package object (library + in-package test
+	// files); its scope feeds the method-set and enum indexes. May be
+	// nil when the directory holds only external-test files.
+	Types *types.Package
 	// TypeErrors collects type-check diagnostics (not lint findings).
 	TypeErrors []error
+
+	// prog is the whole-program view Run sets before rules execute.
+	prog *Program
 }
 
 // IsTestFile reports whether f came from a _test.go file.
@@ -157,14 +164,20 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	names, err := goFilesIn(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("lint: reading package directory %s: %w", dir, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
 	}
 	p := &Package{Path: path, Dir: dir, Fset: l.fset}
 	var lib, xtest []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			// The parser's error already carries file:line:col; wrap it so
+			// the caller knows which load step failed rather than panicking
+			// downstream on a half-parsed package.
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
 		}
 		p.Files = append(p.Files, f)
 		if strings.HasSuffix(f.Name.Name, "_test") {
@@ -185,7 +198,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	// Check errors are accumulated through cfg.Error; a package with type
 	// errors still gets partial Info and syntax-level rules still run.
 	if len(lib) > 0 {
-		cfg.Check(path, l.fset, lib, p.Info)
+		p.Types, _ = cfg.Check(path, l.fset, lib, p.Info)
 	}
 	if len(xtest) > 0 {
 		cfg.Check(path+"_test", l.fset, xtest, p.Info)

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleLoader returns a loader rooted at this repo's module, suitable
+// for loading scratch directories as synthetic packages.
+func moduleLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, modPath)
+}
+
+// TestLoadDirUnparsableSource pins the error path for a directory
+// containing invalid Go: LoadDir must return an error naming the load
+// step and position, never a half-parsed package or a panic.
+func TestLoadDirUnparsableSource(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc oops( {\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := moduleLoader(t).LoadDir(dir, "repro/internal/broken")
+	if err == nil {
+		t.Fatalf("want parse error, got package %+v", p)
+	}
+	if !strings.Contains(err.Error(), "lint: parsing") || !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error should identify the load step and file, got: %v", err)
+	}
+}
+
+// TestLoadDirTypeErrors pins the degradation contract for code that
+// parses but does not type-check: LoadDir succeeds, the diagnostics
+// land in TypeErrors (so callers can decide whether partial Info is
+// acceptable), and running the rules does not panic.
+func TestLoadDirTypeErrors(t *testing.T) {
+	dir := t.TempDir()
+	src := "package semibroken\n\nfunc f() int { return undefinedIdentifier }\n"
+	if err := os.WriteFile(filepath.Join(dir, "semibroken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := moduleLoader(t).LoadDir(dir, "repro/internal/semibroken")
+	if err != nil {
+		t.Fatalf("type errors must not fail the load: %v", err)
+	}
+	if len(p.TypeErrors) == 0 {
+		t.Error("want the undefined identifier recorded in TypeErrors")
+	}
+	// Partial type info must not crash any rule, including the
+	// call-graph construction behind the reach rules.
+	_ = Run([]*Package{p}, AllRules())
+}
+
+// TestLoadDirEmptyPackage pins the empty-directory error path: a
+// directory with no Go files is a caller mistake (wrong -as target,
+// deleted fixture) and must fail with a diagnosable message instead of
+// producing a silently finding-free package.
+func TestLoadDirEmptyPackage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := moduleLoader(t).LoadDir(dir, "repro/internal/empty"); err == nil {
+		t.Fatal("want an error for a directory with no Go files")
+	} else if !strings.Contains(err.Error(), "no Go source files") {
+		t.Errorf("error should say the directory is empty, got: %v", err)
+	}
+}
+
+// TestLoadDirMissingDirectory pins the unreadable-directory error path.
+func TestLoadDirMissingDirectory(t *testing.T) {
+	if _, err := moduleLoader(t).LoadDir(filepath.Join(t.TempDir(), "nope"), "repro/internal/nope"); err == nil {
+		t.Fatal("want an error for a nonexistent directory")
+	}
+}

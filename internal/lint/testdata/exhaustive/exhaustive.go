@@ -1,0 +1,80 @@
+// Fixture for the exhaustive rule, loaded as a plain internal package:
+// switches over a sim-core enum (nvme.Status) must cover every declared
+// constant or carry an explicit default, wherever the switch lives.
+// Local enums of non-sim-core packages are out of scope.
+package fixture
+
+import "repro/internal/nvme"
+
+// missing drops StatusAborted with no default: the silent-fallthrough
+// bug the rule exists for.
+func missing(s nvme.Status) string {
+	switch s { // want:exhaustive
+	case nvme.StatusSuccess:
+		return "ok"
+	case nvme.StatusTransient:
+		return "retry"
+	case nvme.StatusMediaError:
+		return "rebuild"
+	}
+	return "?"
+}
+
+// covered names every constant: exhaustive by enumeration.
+func covered(s nvme.Status) bool {
+	switch s {
+	case nvme.StatusSuccess:
+		return true
+	case nvme.StatusTransient, nvme.StatusMediaError, nvme.StatusAborted:
+		return false
+	}
+	return false
+}
+
+// defaulted is exhaustive by decision: the default clause is the
+// explicit "everything else" case.
+func defaulted(s nvme.Status) bool {
+	switch s {
+	case nvme.StatusSuccess:
+		return true
+	default:
+		return false
+	}
+}
+
+// suppressed documents a known-partial switch.
+func suppressed(s nvme.Status) string {
+	switch s { //afalint:allow exhaustive -- fixture: only success is interesting here
+	case nvme.StatusSuccess:
+		return "ok"
+	}
+	return "other"
+}
+
+// localKind is an enum of *this* package, which is not sim-core: the
+// rule only guards enums whose mishandling can skew simulator results.
+type localKind int
+
+const (
+	kindA localKind = iota
+	kindB
+	kindC
+)
+
+// localSwitch is incomplete but out of scope.
+func localSwitch(k localKind) bool {
+	switch k {
+	case kindA:
+		return true
+	}
+	return false
+}
+
+// tagless switches have no subject type and are never enum switches.
+func tagless(s nvme.Status) string {
+	switch {
+	case s == nvme.StatusSuccess:
+		return "ok"
+	}
+	return "other"
+}

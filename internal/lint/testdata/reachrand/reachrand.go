@@ -1,0 +1,41 @@
+// Fixture for the reachrand rule, loaded as a sim-core package: call
+// chains from exported entry points to non-reproducible random
+// sources. The math/rand import line is the v1 globalrand finding; the
+// chains are what only the call graph sees.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want:globalrand
+)
+
+func draw() int {
+	return rand.Intn(6)
+}
+
+// Jitter reaches the unseeded global generator through a helper: the
+// indirect violation globalrand's import scan cannot attribute to an
+// entry point.
+func Jitter() int { return draw() } // want:reachrand
+
+// DirectRand is one hop to math/rand; the import finding above already
+// covers this file, so reachrand stays silent on direct chains.
+func DirectRand() int { return rand.Intn(6) }
+
+// Entropy is a one-hop crypto/rand chain: no other rule covers
+// crypto/rand, so even direct use is a reach finding.
+func Entropy() byte { // want:reachrand
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return b[0]
+}
+
+// Suppressed is the documented-debt form.
+func Suppressed() int { return draw() } //afalint:allow reachrand -- fixture: documented debt
+
+// Mix is deterministic arithmetic and must stay clean.
+func Mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>33
+}

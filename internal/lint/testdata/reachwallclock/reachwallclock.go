@@ -1,0 +1,54 @@
+// Fixture for the reachwallclock rule, loaded as a sim-core package.
+// It is also the regression pair for the v1 wallclock rule: the
+// indirect chains here are exactly what per-file analysis cannot see.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// excused is a locally sanctioned wall-clock read — the pattern that is
+// legal in CLI self-timing banners. The allow silences wallclock, so
+// only whole-program analysis can tell that sim-core code reaches it.
+func excused() time.Time {
+	return time.Now() //afalint:allow wallclock -- fixture: locally excused, still a sink for reach analysis
+}
+
+func viaHelper() int64 {
+	return excused().UnixNano()
+}
+
+// Indirect is the bug wallclock misses: two hops from an exported
+// sim-core entry point to the wall clock, every hop individually clean.
+func Indirect() int64 { return viaHelper() } // want:reachwallclock
+
+// Direct is wallclock's finding, not reachwallclock's: one-hop chains
+// to the wall clock stay with the per-site rule so one bug is one
+// finding.
+func Direct() time.Time {
+	return time.Now() // want:wallclock
+}
+
+func readEnv() string {
+	return os.Getenv("AFA_FIXTURE")
+}
+
+// HostState reaches process state through a helper; os sinks are
+// reported at any depth because no per-site rule covers them.
+func HostState() string { return readEnv() } // want:reachwallclock
+
+// DirectHost shows the one-hop os case is still a reach finding.
+func DirectHost() string { return os.Getenv("AFA_FIXTURE") } // want:reachwallclock
+
+// Suppressed documents the entry-point escape hatch: the allow sits on
+// the declaration the finding anchors to.
+func Suppressed() int64 { return viaHelper() } //afalint:allow reachwallclock -- fixture: documented debt
+
+// Pure never touches the host and must stay clean.
+func Pure(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,63 @@
+// Fixture for the rngstream rule, loaded as a plain internal package
+// (runner.Map callers live above the sim core): every stream a Map job
+// draws from must be created inside the job closure, or the
+// byte-identical serial/parallel guarantee dies in pool-scheduling
+// order.
+package fixture
+
+import (
+	"repro/internal/rng"
+	"repro/internal/runner"
+)
+
+// shared is the package-level hazard: one stream visible to every job.
+var shared = rng.New(7)
+
+// holder is package state a job could leak a stream into.
+var holder struct {
+	s *rng.Stream
+}
+
+// captured closes over one stream from the enclosing scope: jobs then
+// interleave draws in completion order.
+func captured(seeds []uint64) []float64 {
+	stream := rng.New(1)
+	return runner.Map(runner.Options{}, seeds, func(_ int, _ uint64) float64 {
+		return stream.Float64() // want:rngstream
+	})
+}
+
+// packageShared draws from the package-level stream inside a job.
+func packageShared(seeds []uint64) []float64 {
+	return runner.Map(runner.Options{}, seeds, func(_ int, _ uint64) float64 {
+		return shared.Float64() // want:rngstream
+	})
+}
+
+// escapes stores a job-owned stream into package state: the next run
+// (or the next job) inherits pool-timing-dependent draw positions.
+func escapes(seeds []uint64) []float64 {
+	return runner.Map(runner.Options{}, seeds, func(_ int, seed uint64) float64 {
+		s := rng.New(seed)
+		holder.s = s // want:rngstream
+		return s.Float64()
+	})
+}
+
+// owned is the sanctioned shape: every job derives its own stream from
+// its spec, exactly like the experiment fan-outs in internal/core.
+func owned(seeds []uint64) []float64 {
+	return runner.Map(runner.Options{}, seeds, func(_ int, seed uint64) float64 {
+		s := rng.New(seed)
+		return s.Float64()
+	})
+}
+
+// suppressed documents a deliberate capture (e.g. a read-only
+// pre-derived table keyed by job index would be annotated like this).
+func suppressed(seeds []uint64) []float64 {
+	stream := rng.New(1)
+	return runner.Map(runner.Options{}, seeds, func(_ int, _ uint64) float64 {
+		return stream.Float64() //afalint:allow rngstream -- fixture: documented capture
+	})
+}

@@ -1,0 +1,42 @@
+// Fixture for the simtime rule, loaded as a plain internal package:
+// unit-safety on sim.Time / sim.Duration arithmetic applies wherever
+// the types are used, not only inside the sim core.
+package fixture
+
+import "repro/internal/sim"
+
+// addInstants commits the Time+Time category error.
+func addInstants(a, b sim.Time) sim.Time {
+	return a + b // want:simtime
+}
+
+// scaleInstant scales a point in time, both operand orders.
+func scaleInstant(t sim.Time) sim.Time {
+	u := t * 3 // want:simtime
+	return 2 * u // want:simtime
+}
+
+// rawLiterals hide a millisecond-scale unit in bare numbers.
+func rawLiterals(d sim.Duration) sim.Duration {
+	d = d + 2_000_000 // want:simtime
+	d = 1500000 + d // want:simtime
+	d -= 3 * sim.Microsecond
+	d += 5_000_000 // want:simtime
+	return d
+}
+
+// legal is every sanctioned form: Add/Sub methods, named units,
+// sub-millisecond literals, Duration scaling.
+func legal(t, u sim.Time, d sim.Duration) sim.Duration {
+	t = t.Add(d)
+	_ = t.Sub(u)
+	d = d + 250*sim.Microsecond
+	d = d + 999
+	d = d * 4
+	return d + sim.Millisecond
+}
+
+// suppressed is the documented escape hatch.
+func suppressed(a, b sim.Time) sim.Time {
+	return a + b //afalint:allow simtime -- fixture: folding instants on purpose
+}

@@ -46,7 +46,7 @@ func (d Duration) String() string {
 }
 
 // Add returns the instant d after t.
-func (t Time) Add(d Duration) Time { return t + Time(d) }
+func (t Time) Add(d Duration) Time { return t + Time(d) } //afalint:allow simtime -- the canonical Add: the one sanctioned Time+Time site
 
 // Sub returns the duration elapsed from u to t.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
