@@ -344,7 +344,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 
 		wide := o
 		wide.Parallel = 0 // one worker per CPU
-		t1 := time.Now() //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		t1 := time.Now()  //afalint:allow wallclock -- measuring host wall-clock, not simulated time
 		suite(wide)
 		wideDur := time.Since(t1) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
 
@@ -360,6 +360,61 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	b.ReportMetric(row.SerialMs, "serial-ms")
 	b.ReportMetric(row.ParallelMs, "parallel-ms")
 	f, err := os.Create("BENCH_parallel.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := core.WriteParallelBenchJSON(f, []core.ParallelBenchRow{row}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWritePath runs the four-arm degraded-write ablation — clean
+// RMW, degraded, degraded + rebuild, and the full write-tolerance stack —
+// at -parallel 1 and the default pool width, reporting the tolerant arm's
+// hedge-bounded maximum against the untolerant rebuild arm's timeout
+// tail, plus the rebuild stream's progress. A BENCH_writes.json summary
+// is written through the same export path as BENCH_parallel.json so CI
+// can archive the write-path trajectory per commit.
+func BenchmarkWritePath(b *testing.B) {
+	o := benchOpts()
+	o.NumSSDs = 16
+	o.Runtime = 300 * sim.Millisecond
+	var rs []core.WriteRun
+	var row core.ParallelBenchRow
+	for i := 0; i < b.N; i++ {
+		serial := o
+		serial.Parallel = 1
+		t0 := time.Now() //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		rs = core.RunWriteAblation(serial)
+		serialDur := time.Since(t0) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+
+		wide := o
+		wide.Parallel = 0 // one worker per CPU
+		t1 := time.Now()  //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		core.RunWriteAblation(wide)
+		wideDur := time.Since(t1) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+
+		row = core.ParallelBenchRow{
+			Experiment: "write-ablation",
+			Parallel:   runner.DefaultParallel(),
+			SerialMs:   float64(serialDur) / 1e6,
+			ParallelMs: float64(wideDur) / 1e6,
+			Speedup:    float64(serialDur) / float64(wideDur),
+		}
+	}
+	printTable(b, "writes", func() { core.WriteWriteAblation(os.Stdout, rs) })
+	maxRung := stats.NumRungs - 1
+	b.ReportMetric(rs[3].Ladder.Rung(maxRung)/1e3, "tolerant-max-µs")
+	b.ReportMetric(rs[2].Ladder.Rung(maxRung)/1e3, "untolerant-max-µs")
+	if rb := rs[3].Rebuild; rb != nil {
+		b.ReportMetric(float64(rb.StripesRebuilt), "stripes-rebuilt")
+	}
+	b.ReportMetric(row.Speedup, "speedup-x")
+	if tol, untol := rs[3].Ladder.Rung(maxRung), rs[2].Ladder.Rung(maxRung); tol >= untol {
+		b.Fatalf("tolerant max %.1fµs not below untolerant max %.1fµs", tol/1e3, untol/1e3)
+	}
+	f, err := os.Create("BENCH_writes.json")
 	if err != nil {
 		b.Fatal(err)
 	}

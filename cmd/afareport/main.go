@@ -18,6 +18,7 @@
 //	afareport -ablate coalesce# NVMe interrupt coalescing vs the interrupt storm
 //	afareport -ablate faults  # clean vs faulted vs faulted+tolerant (timeouts, degraded reads, hedging)
 //	afareport -ablate recovery# drive drop-out/recovery time series under tolerance
+//	afareport -ablate writes  # RMW write path: clean / degraded / +rebuild / +tolerance (hedged parity writes)
 //	afareport -all            # everything
 //
 // -ablation is accepted as an alias for -ablate.
@@ -57,7 +58,7 @@ func main() {
 		fig      = flag.String("fig", "", "figure number to regenerate (6-14)")
 		table    = flag.Int("table", 0, "table number to regenerate (1 or 2)")
 		headline = flag.Bool("headline", false, "check the abstract's ×8/×400 claim")
-		ablate   = flag.String("ablate", "", "ablation: fw | poll | used | future | coalesce | tail | pts | faults | recovery")
+		ablate   = flag.String("ablate", "", "ablation: fw | poll | used | future | coalesce | tail | pts | faults | recovery | writes")
 		ablation = flag.String("ablation", "", "alias for -ablate")
 		all      = flag.Bool("all", false, "regenerate everything")
 		runtime  = flag.Duration("runtime", 2*time.Second, "simulated runtime per FIO instance (paper: 120s)")
@@ -99,7 +100,7 @@ func main() {
 		runTable(1)
 		runTable(2)
 		runHeadline(o)
-		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts", "faults", "recovery"} {
+		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts", "faults", "recovery", "writes"} {
 			runAblation(a, o)
 		}
 		return
@@ -330,8 +331,16 @@ func runAblation(kind string, o core.ExpOptions) {
 	case "recovery":
 		banner("Extension: drive drop-out and recovery under the tolerance stack")
 		core.WriteRecoverySeries(os.Stdout, core.RunRecoverySeries(o))
+	case "writes":
+		banner("Extension: RMW write path — clean / degraded / +rebuild / +tolerance")
+		core.WriteWriteAblation(os.Stdout, core.RunWriteAblation(o))
+		if sweepSeeds > 1 {
+			fmt.Printf("\ntolerant-arm write ladder, %d-seed sweep (pooled last):\n", sweepSeeds)
+			sweep := core.RunSeedSweep(o, sweepSeeds, core.RunWriteLadder)
+			core.WriteComparisonTable(os.Stdout, append(sweep, core.MergeSweep("pooled", sweep)))
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts, faults, recovery)\n", kind)
+		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts, faults, recovery, writes)\n", kind)
 		os.Exit(2)
 	}
 	wallBanner(t0)

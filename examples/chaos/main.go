@@ -1,11 +1,20 @@
-// Chaos demonstrates the fault-injection subsystem end to end: a striped
-// client runs over an 8-wide data stripe plus a parity drive while one
-// stripe member is dropped from the fabric mid-run and hot-replugged
-// later. With the tolerance stack armed — kernel per-command timeouts,
-// RAID degraded reads, and hedged reads at the observed p99 — the
-// client's latency ladder holds through the outage: requests are served
-// by parity reconstruction at hedge latency instead of hanging on a dead
-// device.
+// Chaos demonstrates the fault-injection subsystem end to end, in two
+// acts over an 8-wide data stripe plus a parity drive.
+//
+// Act 1 (reads): one stripe member is dropped from the fabric mid-run
+// and hot-replugged later. With the tolerance stack armed — kernel
+// per-command timeouts, RAID degraded reads, and hedged reads at the
+// observed p99 — the client's latency ladder holds through the outage:
+// requests are served by parity reconstruction at hedge latency instead
+// of hanging on a dead device.
+//
+// Act 2 (writes): the same drive is pulled while a read-modify-write
+// client is running, then replaced, and a rebuild stream reconstructs it
+// stripe by stripe while foreground writes continue. During the outage
+// writes to the victim are parity-logged (the data exists only as parity
+// until rebuild); hedged parity writes keep the worst case bounded; and
+// the rebuild throttle shows the classic trade-off — rebuilding flat out
+// finishes sooner but steals write tokens from the foreground.
 package main
 
 import (
@@ -18,12 +27,22 @@ import (
 	"repro/internal/sim"
 )
 
+const (
+	runtime = 500 * sim.Millisecond
+	width   = core.FaultStripeWidth // data members 0..7, parity on 8
+	victim  = 0
+)
+
 func main() {
-	const (
-		runtime = 500 * sim.Millisecond
-		width   = core.FaultStripeWidth // data members 0..7, parity on 8
-		victim  = 0
-	)
+	ok := readAct()
+	ok = writeAct() && ok
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// readAct is the original drive-pull demo: degraded and hedged reads.
+func readAct() bool {
 	dropAt := sim.Time(0).Add(runtime / 4)
 	recoverAt := sim.Time(0).Add(3 * runtime / 4)
 
@@ -35,17 +54,13 @@ func main() {
 		NumSSDs: 16, Seed: 7, Config: cfg, FaultPlan: &plan,
 	})
 
-	stripe := make([]int, width)
-	for i := range stripe {
-		stripe[i] = i
-	}
 	res := raid.Run(sys.Eng, sys.Kernel, []raid.ClientSpec{{
-		Name: "chaos", Stripe: stripe, CPU: sys.Host.WorkloadCPUs()[0],
+		Name: "chaos", Stripe: stripe(), CPU: sys.Host.WorkloadCPUs()[0],
 		Runtime: runtime, Class: cfg.FIOClass, RTPrio: cfg.FIORTPrio,
 		Tol: raid.DefaultTolerance(width), Seed: 7,
 	}})[0]
 
-	fmt.Printf("chaos run: nvme%d offline %.0f–%.0f ms of a %.0f ms run\n\n",
+	fmt.Printf("act 1, reads: nvme%d offline %.0f–%.0f ms of a %.0f ms run\n\n",
 		victim, float64(dropAt)/1e6, float64(recoverAt)/1e6, float64(runtime)/1e6)
 	fmt.Printf("striped-request ladder: %v\n\n", res.Ladder)
 	fmt.Printf("requests=%d failed=%d hedged=%d hedge-wins=%d degraded=%d late-subios=%d\n",
@@ -58,12 +73,91 @@ func main() {
 
 	if res.FailedRequests > 0 {
 		fmt.Println("FAILED: requests were lost during the outage")
-		os.Exit(1)
+		return false
 	}
 	if res.HedgeWins == 0 {
 		fmt.Println("FAILED: the hedge never served a request")
-		os.Exit(1)
+		return false
 	}
 	fmt.Println("the array rode through the outage: zero failed requests,")
 	fmt.Println("worst case bounded by the hedge, ladder restored after replug.")
+	fmt.Println()
+	return true
+}
+
+// writeAct pulls the drive during a read-modify-write workload, replaces
+// it at the midpoint, and rebuilds it at two throttle settings.
+func writeAct() bool {
+	dropAt := sim.Time(0).Add(runtime / 4)
+	replaceAt := sim.Time(0).Add(runtime / 2)
+	fmt.Printf("act 2, writes: nvme%d pulled at %.0f ms, replaced at %.0f ms, then rebuilt\n\n",
+		victim, float64(dropAt)/1e6, float64(replaceAt)/1e6)
+
+	ok := true
+	for _, throttle := range []sim.Duration{100 * sim.Microsecond, 0} {
+		plan := fault.Plan{Profiles: []fault.Profile{
+			{SSD: victim, DropAt: dropAt, RecoverAt: replaceAt},
+		}}
+		cfg := core.FaultTolerance()
+		sys := core.NewSystem(core.Options{
+			NumSSDs: 16, Seed: 7, Config: cfg, FaultPlan: &plan,
+		})
+		cpus := sys.Host.WorkloadCPUs()
+
+		rb := raid.NewRebuilder(sys.Eng, sys.Kernel, raid.RebuildSpec{
+			Survivors: stripe()[1:], Parity: width, Target: victim,
+			CPU: cpus[len(cpus)-1], StartAt: replaceAt,
+			Stripes:  int64(runtime / (400 * sim.Microsecond)),
+			Throttle: throttle,
+		})
+		rb.Start(nil)
+
+		res := raid.Run(sys.Eng, sys.Kernel, []raid.ClientSpec{{
+			Name: "chaos-write", Workload: raid.WorkloadWrite,
+			Stripe: stripe(), Parity: width,
+			CPU: cpus[0], Runtime: runtime,
+			Class: cfg.FIOClass, RTPrio: cfg.FIORTPrio,
+			Tol: raid.DefaultTolerance(width), Seed: 7,
+		}})[0]
+		reb := rb.Result()
+
+		fmt.Printf("-- rebuild throttle %v --\n", throttle)
+		fmt.Printf("write ladder: %v\n", res.Ladder)
+		fmt.Printf("requests=%d failed=%d parity-log=%d degraded=%d hedged=%d hedge-wins=%d suspicions=%d probes=%d\n",
+			res.Requests, res.FailedRequests, res.ParityLogWrites, res.DegradedWrites,
+			res.HedgedWrites, res.WriteHedgeWins, res.Suspicions, res.Probes)
+		elapsed := "unfinished at run end"
+		if reb.Done {
+			elapsed = fmt.Sprintf("done in %.1f ms", float64(reb.FinishedAt.Sub(reb.StartedAt))/1e6)
+		}
+		fmt.Printf("rebuild: %d/%d stripes (%s), reads=%d writes=%d\n\n",
+			reb.StripesRebuilt, reb.Spec.Stripes, elapsed, reb.Reads, reb.Writes)
+
+		if res.FailedRequests > 0 {
+			fmt.Println("FAILED: writes were lost during the outage")
+			ok = false
+		}
+		if res.DegradedWrites == 0 {
+			fmt.Println("FAILED: no write was parity-logged during the outage")
+			ok = false
+		}
+		if reb.StripesRebuilt == 0 {
+			fmt.Println("FAILED: the rebuild stream made no progress")
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Println("writes rode through the pull: parity logging carried the outage,")
+		fmt.Println("hedged parity writes bounded the worst case, and the replacement")
+		fmt.Println("was rebuilt while foreground writes continued.")
+	}
+	return ok
+}
+
+func stripe() []int {
+	s := make([]int, width)
+	for i := range s {
+		s[i] = i
+	}
+	return s
 }

@@ -178,7 +178,7 @@ func RunRecoverySeries(o ExpOptions) RecoveryResult {
 	res := raid.Run(sys.Eng, sys.Kernel, []raid.ClientSpec{{
 		Name: "recovery", Stripe: stripe, CPU: cpu, Runtime: o.Runtime,
 		Class: cfg.FIOClass, RTPrio: cfg.FIORTPrio,
-		Tol: raid.DefaultTolerance(FaultStripeWidth),
+		Tol:    raid.DefaultTolerance(FaultStripeWidth),
 		LatLog: true, Seed: o.Seed,
 	}})[0]
 

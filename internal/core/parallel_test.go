@@ -19,8 +19,9 @@ func sweepOpts() ExpOptions {
 // exportFanOuts renders every parallelized experiment shape through the
 // public export path: the config fan-out (Fig 12), the geometry fan-out
 // (Fig 13, including the solo-run merge), the mixed baseline+client
-// fan-out (tail-at-scale), the three-arm fault ablation, and a seed
-// sweep. The exported bytes are the reproducibility contract.
+// fan-out (tail-at-scale), the three-arm fault ablation, the four-arm
+// write ablation (rebuild stream included), and a seed sweep. The
+// exported bytes are the reproducibility contract.
 func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -50,6 +51,23 @@ func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 		ladders := []stats.Ladder{fr.Ladder}
 		if err := WriteDistributionJSON(&buf, Distribution{
 			Config: fr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, wr := range RunWriteAblation(o) {
+		fmt.Fprintf(&buf, "%s requests=%d failed=%d degraded=%d parity-log=%d unprotected=%d hedged=%d dups=%d wr-timeouts=%d\n%s\n",
+			wr.Name, wr.Requests, wr.Failed, wr.DegradedWrites, wr.ParityLogWrites,
+			wr.UnprotectedWrites, wr.HedgedWrites, wr.DupCompletions,
+			wr.IOStats.WriteTimeouts, wr.Trace)
+		if wr.Rebuild != nil {
+			fmt.Fprintf(&buf, "rebuild %d/%d failed=%d reads=%d writes=%d\n",
+				wr.Rebuild.StripesRebuilt, wr.Rebuild.Spec.Stripes,
+				wr.Rebuild.StripesFailed, wr.Rebuild.Reads, wr.Rebuild.Writes)
+		}
+		ladders := []stats.Ladder{wr.Ladder}
+		if err := WriteDistributionJSON(&buf, Distribution{
+			Config: wr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
 		}); err != nil {
 			t.Fatal(err)
 		}

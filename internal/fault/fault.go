@@ -37,6 +37,10 @@ type Profile struct {
 	// ReadSlowdown ≥ 1 permanently scales NAND read time (a slow bin from
 	// device binning, or worn flash needing deeper read-retry ladders).
 	ReadSlowdown float64
+	// WriteSlowdown ≥ 1 permanently scales the device's write-admission
+	// token cost (worn flash programming slower, thermal throttling) —
+	// the write-path analogue of ReadSlowdown.
+	WriteSlowdown float64
 	// TransientRate is the per-command probability of a retryable
 	// StatusTransient completion (controller DRAM hiccups, link CRC
 	// retries surfacing as internal errors).
@@ -128,6 +132,13 @@ func (in *Injector) arm(p Profile) {
 		in.at(in.eng.Now(), func() {
 			ssd.SetReadSlowdown(f)
 			in.record(id, "slow-bin", fmt.Sprintf("×%.2f", f))
+		})
+	}
+	if p.WriteSlowdown > 1 {
+		f := p.WriteSlowdown
+		in.at(in.eng.Now(), func() {
+			ssd.SetWriteSlowdown(f)
+			in.record(id, "slow-write", fmt.Sprintf("×%.2f", f))
 		})
 	}
 	if p.TransientRate > 0 {

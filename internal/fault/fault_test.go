@@ -23,7 +23,7 @@ func runFaulted(seed uint64) string {
 	plan := fault.Plan{Profiles: []fault.Profile{
 		{SSD: 0, DropAt: sim.Time(0).Add(runtime / 3),
 			RecoverAt: sim.Time(0).Add(2 * runtime / 3)},
-		{SSD: 1, ReadSlowdown: 2.5, TransientRate: 0.01},
+		{SSD: 1, ReadSlowdown: 2.5, WriteSlowdown: 3, TransientRate: 0.01},
 		{SSD: 2, BadLBAs: []int64{3, 5}, BadLBAsAt: sim.Time(0).Add(runtime / 4),
 			GCStorms:    []fault.Window{{At: sim.Time(0).Add(runtime / 2), For: runtime / 8}},
 			StormFactor: 6},
@@ -71,8 +71,8 @@ func TestFaultReplayDeterminism(t *testing.T) {
 
 func TestInjectorRecordsTrace(t *testing.T) {
 	out := runFaulted(42)
-	for _, want := range []string{"drop", "recover", "slow-bin", "transient-rate",
-		"bad-lba", "storm-start", "storm-end", "fw-stall"} {
+	for _, want := range []string{"drop", "recover", "slow-bin", "slow-write",
+		"transient-rate", "bad-lba", "storm-start", "storm-end", "fw-stall"} {
 		if !contains(out, want) {
 			t.Fatalf("trace missing %q:\n%s", want, out)
 		}

@@ -71,6 +71,13 @@ type IOStats struct {
 	Exhausted       int64 // commands surfaced as errors after MaxRetries
 	TransientErrors int64 // retryable device errors observed
 	MediaErrors     int64 // permanent media errors surfaced
+
+	// Per-op write-path slices of the counters above: the write fault
+	// model (degraded writes, rebuild) needs to see how much of the
+	// tolerance activity its writes caused.
+	WriteTimeouts  int64
+	WriteRetries   int64
+	WriteExhausted int64
 }
 
 // IOStats returns a copy of the tolerance counters.
@@ -100,6 +107,9 @@ func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int
 		settled = true
 		k.iostats.Timeouts++
 		k.iostats.Aborts++
+		if cmd.Op == nvme.OpWrite {
+			k.iostats.WriteTimeouts++
+		}
 		// Abort admin round-trip, then retry or surface the failure. The
 		// aborted attempt's CQE, should it still arrive, is dropped above.
 		k.eng.After(k.timeout.AbortCost, func() {
@@ -142,6 +152,9 @@ func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int
 func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, failed Completion, done func(Completion)) {
 	if attempt >= k.timeout.MaxRetries {
 		k.iostats.Exhausted++
+		if cmd.Op == nvme.OpWrite {
+			k.iostats.WriteExhausted++
+		}
 		failed.Result.SubmittedAt = first
 		failed.Retries = attempt
 		failed.DeliveredAt = k.eng.Now()
@@ -149,6 +162,9 @@ func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, 
 		return
 	}
 	k.iostats.Retries++
+	if cmd.Op == nvme.OpWrite {
+		k.iostats.WriteRetries++
+	}
 	k.eng.After(k.timeout.backoffFor(attempt), func() {
 		k.submitAttempt(submitCPU, ssd, cmd, attempt+1, first, done)
 	})

@@ -204,3 +204,46 @@ func TestMediaErrorSurfacesWithoutRetry(t *testing.T) {
 		t.Fatalf("media errors = %d", st.MediaErrors)
 	}
 }
+
+func TestWriteCountersSliceTimeoutStats(t *testing.T) {
+	// The write fault model reads WriteTimeouts/WriteRetries/WriteExhausted
+	// to attribute tolerance activity to writes. An exhausted write to a
+	// dead device must move all three; a read must move none of them.
+	pol := TimeoutPolicy{
+		Timeout: 100 * sim.Microsecond, MaxRetries: 2,
+		Backoff: 50 * sim.Microsecond, AbortCost: 10 * sim.Microsecond,
+	}
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].SetOffline(true)
+
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpWrite, LBA: 1}, func(c Completion) {
+		if c.Status == nvme.StatusSuccess {
+			t.Error("write to an offline device succeeded")
+		}
+		got = true
+	})
+	r.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if !got {
+		t.Fatal("exhausted write never surfaced")
+	}
+	st := r.k.IOStats()
+	if st.WriteTimeouts != int64(pol.MaxRetries+1) {
+		t.Fatalf("write timeouts = %d, want %d", st.WriteTimeouts, pol.MaxRetries+1)
+	}
+	if st.WriteRetries != int64(pol.MaxRetries) || st.WriteExhausted != 1 {
+		t.Fatalf("write retries=%d exhausted=%d", st.WriteRetries, st.WriteExhausted)
+	}
+
+	r2 := newTimeoutRig(t, pol)
+	r2.k.SSDs[0].SetOffline(true)
+	r2.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(Completion) {})
+	r2.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	st2 := r2.k.IOStats()
+	if st2.WriteTimeouts != 0 || st2.WriteRetries != 0 || st2.WriteExhausted != 0 {
+		t.Fatalf("read moved the write slices: %+v", st2)
+	}
+	if st2.Timeouts == 0 {
+		t.Fatal("read to an offline device never timed out")
+	}
+}

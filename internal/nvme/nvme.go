@@ -218,6 +218,7 @@ type Controller struct {
 	// nothing extra in that case.
 	faultRnd      *rng.Stream
 	readSlow      float64 // slow-NAND bin multiplier, 1 = nominal
+	writeSlow     float64 // write-token cost multiplier, 1 = nominal
 	stormSlow     float64 // GC-storm window multiplier, 1 = no storm
 	transientRate float64 // per-command probability of StatusTransient
 	badLBAs       map[int64]bool
@@ -262,6 +263,7 @@ func New(eng *sim.Engine, cfg Config) *Controller {
 		rnd:            rng.NewLabeled(cfg.Seed, fmt.Sprintf("nvme%d", cfg.ID)),
 		faultRnd:       rng.NewLabeled(cfg.Seed, fmt.Sprintf("nvme%d/fault", cfg.ID)),
 		readSlow:       1,
+		writeSlow:      1,
 		stormSlow:      1,
 		cmdProcess:     2 * sim.Microsecond,
 		cqePost:        500 * sim.Nanosecond,
@@ -340,6 +342,16 @@ func (c *Controller) SetReadSlowdown(factor float64) {
 		factor = 1
 	}
 	c.readSlow = factor
+}
+
+// SetWriteSlowdown scales the write-token admission cost by factor (worn
+// flash programming slower, or a controller throttling writes thermally;
+// 1 restores nominal). Factors below 1 are rejected, as for reads.
+func (c *Controller) SetWriteSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.writeSlow = factor
 }
 
 // SetStormFactor scales NAND read time during a GC-storm window; it
@@ -514,7 +526,11 @@ func (c *Controller) bufferedWrite(cmd Command, res Result, done func(Result)) {
 	if c.writeNextFree > admit {
 		admit = c.writeNextFree
 	}
-	c.writeNextFree = admit.Add(c.writeTokenCost)
+	token := c.writeTokenCost
+	if c.writeSlow > 1 {
+		token = sim.Duration(float64(token) * c.writeSlow)
+	}
+	c.writeNextFree = admit.Add(token)
 	cache := 8 * sim.Microsecond
 	c.eng.At(admit.Add(cache), func() {
 		// Background program: its nominal latency (and transient die-queue

@@ -11,6 +11,13 @@
 // p-quantile event becomes a per-request 1-(1-p)^w event — which is why
 // the paper insists the impact of tail latency is much higher in an AFA
 // than in systems with few SSDs.
+//
+// The write side (write.go) models the RAID small-write penalty: each
+// random write is a read-modify-write parity update (read old data, read
+// old parity, write data, write parity), degrading to reconstruct-then-
+// write or parity-only logging when members fail. rebuild.go streams
+// background stripe reconstruction that competes with this foreground
+// traffic.
 package raid
 
 import (
@@ -59,11 +66,41 @@ func DefaultTolerance(paritySSD int) *Tolerance {
 	}
 }
 
-// ClientSpec describes a striped-read client.
+// Workload selects what a Client issues.
+type Workload int
+
+const (
+	// WorkloadRead fans every request out to the whole stripe (one 4 KiB
+	// read per member) and completes on the last sub-I/O.
+	WorkloadRead Workload = iota
+	// WorkloadWrite issues small random writes as read-modify-write
+	// parity updates against a single data member plus the parity member.
+	WorkloadWrite
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadRead:
+		return "read"
+	case WorkloadWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// ClientSpec describes a striped client.
 type ClientSpec struct {
 	Name string
-	// Stripe lists the SSDs each request fans out to.
+	// Workload selects striped reads (default) or RMW small writes.
+	Workload Workload
+	// Stripe lists the data members. Reads fan out to all of them; writes
+	// pick one per request.
 	Stripe []int
+	// Parity is the stripe's parity member, required for WorkloadWrite
+	// (every small write updates it). When Tol is also set its ParitySSD
+	// must agree.
+	Parity int
 	// CPU pins the client thread.
 	CPU int
 	// Class/RTPrio set the scheduling class (as for FIO jobs).
@@ -112,6 +149,37 @@ type Result struct {
 	// sub-I/O failed with no parity configured, or two members (or the
 	// parity path itself) failed. Their latency is not in Hist.
 	FailedRequests int64
+
+	// Write-workload counters (zero for WorkloadRead).
+	//
+	// RMWReads counts phase-1 reads (old data, old parity, peer reads for
+	// reconstruction); DataWrites/ParityWrites count phase-2 writes
+	// including hedge duplicates.
+	RMWReads     int64
+	DataWrites   int64
+	ParityWrites int64
+	// DegradedWrites completed without a data write landing: the new data
+	// exists only as parity until rebuild. ReconstructWrites recomputed
+	// parity from the peers because the old data was unreadable.
+	// ParityLogWrites routed around a dead data member at issue or via
+	// hedge; UnprotectedWrites landed the data with no parity update.
+	DegradedWrites    int64
+	ReconstructWrites int64
+	ParityLogWrites   int64
+	UnprotectedWrites int64
+	// HedgedWrites counts deadline-triggered write-path recoveries;
+	// WriteHedgeWins counts those where the recovery path completed the
+	// request. DupCompletions counts parity CQEs that arrived after the
+	// parity was already durable — the hedge duplicate and its original
+	// both landing, safely, because parity writes are idempotent.
+	HedgedWrites   int64
+	WriteHedgeWins int64
+	DupCompletions int64
+	// Suspicions counts members marked suspect after a timeout/abort;
+	// Probes counts the periodic optimistic RMWs sent to a suspect member
+	// to notice recovery.
+	Suspicions int64
+	Probes     int64
 	// Log holds per-request samples when ClientSpec.LatLog is set.
 	Log     *stats.LatLog
 	Runtime sim.Duration
@@ -129,17 +197,35 @@ type Client struct {
 	start     sim.Time
 	deadline  sim.Time
 	inflight  int
-	completed []*request
+	completed []completedReq
 	done      bool
 	onDone    func(*Result)
 
-	// hedgeHist records only requests served without parity help: hedging
-	// at a quantile of the overall distribution would be self-referential —
-	// during an outage every request completes at hedge latency, dragging
-	// the hedge delay upward without bound.
+	// hedgeHist records only requests served without parity help (reads)
+	// or on the pure RMW path (writes): hedging at a quantile of the
+	// overall distribution would be self-referential — during an outage
+	// every request completes at hedge latency, dragging the hedge delay
+	// upward without bound.
 	hedgeHist *stats.Histogram
 
+	// suspect members are routed around (writes only): a timeout/abort
+	// marks the member, any successful completion from it clears it, and
+	// every probeInterval-th routed-around request probes it optimistically.
+	// Lookup/insert/delete only — never ranged (determinism contract).
+	suspect  map[int]bool
+	probeGap map[int]int
+
 	maxLBA int64
+}
+
+// completedReq is what reapAll needs from a finished request, read or
+// write: both workloads drain through the same client-thread reap burst.
+type completedReq interface {
+	reqFailed() bool
+	reqIssuedAt() sim.Time
+	// cleanSample reports whether the request's latency may calibrate the
+	// hedge delay (served without any recovery path).
+	cleanSample() bool
 }
 
 // request tracks one striped request's fan-out and its recovery state.
@@ -156,6 +242,10 @@ type request struct {
 	hedgeArmed    bool
 	done          bool
 }
+
+func (r *request) reqFailed() bool       { return r.failed }
+func (r *request) reqIssuedAt() sim.Time { return r.issuedAt }
+func (r *request) cleanSample() bool     { return !r.usedParity }
 
 // New creates a client (call Start to run it).
 func New(eng *sim.Engine, k *kernel.Kernel, spec ClientSpec) *Client {
@@ -187,6 +277,22 @@ func New(eng *sim.Engine, k *kernel.Kernel, spec ClientSpec) *Client {
 			}
 		}
 	}
+	if spec.Workload == WorkloadWrite {
+		if spec.Parity < 0 || spec.Parity >= len(k.SSDs) {
+			panic(fmt.Sprintf("raid: write parity SSD %d out of range", spec.Parity))
+		}
+		for _, ssd := range spec.Stripe {
+			if ssd == spec.Parity {
+				panic(fmt.Sprintf("raid: write parity SSD %d is also a data member", ssd))
+			}
+		}
+		if t := spec.Tol; t != nil && t.ParitySSD != spec.Parity {
+			panic(fmt.Sprintf("raid: Tol.ParitySSD %d disagrees with Parity %d",
+				t.ParitySSD, spec.Parity))
+		}
+		c.suspect = map[int]bool{}
+		c.probeGap = map[int]int{}
+	}
 	c.res.Spec = spec
 	c.res.Hist = stats.NewHistogram()
 	c.hedgeHist = stats.NewHistogram()
@@ -216,10 +322,15 @@ func (c *Client) Start(onDone func(*Result)) {
 	})
 }
 
-// issueCost is the submit burst for one striped request: one io_submit
-// batch covering every stripe member.
+// issueCost is the submit burst for one request: reads batch one
+// io_submit per stripe member; writes submit the two RMW pre-reads (the
+// phase-2 writes and any recovery sub-I/Os issue from softirq context).
 func (c *Client) issueCost() sim.Duration {
-	return sim.Duration(len(c.spec.Stripe)) * c.k.Costs().Submit
+	n := len(c.spec.Stripe)
+	if c.spec.Workload == WorkloadWrite {
+		n = 2
+	}
+	return sim.Duration(n) * c.k.Costs().Submit
 }
 
 func (c *Client) issueWindow() {
@@ -240,10 +351,26 @@ func (c *Client) issueWindow() {
 }
 
 func (c *Client) reapCost(n int) sim.Duration {
-	return sim.Duration(n*len(c.spec.Stripe)) * c.k.Costs().Complete
+	per := len(c.spec.Stripe)
+	if c.spec.Workload == WorkloadWrite {
+		// Up to four sub-I/O CQEs per RMW request.
+		per = 4
+	}
+	return sim.Duration(n*per) * c.k.Costs().Complete
 }
 
 func (c *Client) issueOne() {
+	switch c.spec.Workload {
+	case WorkloadRead:
+		c.issueRead()
+	case WorkloadWrite:
+		c.issueWrite()
+	default:
+		panic(fmt.Sprintf("raid: unknown workload %d", int(c.spec.Workload)))
+	}
+}
+
+func (c *Client) issueRead() {
 	lba := c.rnd.Int63n(c.maxLBA)
 	req := &request{c: c, issuedAt: c.eng.Now(), lba: lba, lastSSD: -1,
 		remaining: len(c.spec.Stripe)}
@@ -387,6 +514,12 @@ func (r *request) finish() {
 	if !r.failed && r.lastSSD >= 0 {
 		c.res.StragglerSSD[r.lastSSD]++
 	}
+	c.enqueueDone(r)
+}
+
+// enqueueDone hands a finished request (read or write) to the client
+// thread's reap burst.
+func (c *Client) enqueueDone(r completedReq) {
 	c.completed = append(c.completed, r)
 	if c.task.State() == sched.StateSleeping {
 		c.task.Exec(c.reapCost(len(c.completed)), c.reapAll)
@@ -397,16 +530,16 @@ func (r *request) finish() {
 func (c *Client) reapAll() {
 	now := c.eng.Now()
 	for _, r := range c.completed {
-		if r.failed {
+		if r.reqFailed() {
 			// Errors surface to the client; their latency does not pollute
 			// the served-request distribution.
 			c.res.FailedRequests++
 			c.inflight--
 			continue
 		}
-		lat := int64(now.Sub(r.issuedAt))
+		lat := int64(now.Sub(r.reqIssuedAt()))
 		c.res.Hist.Record(lat)
-		if !r.usedParity {
+		if r.cleanSample() {
 			c.hedgeHist.Record(lat)
 		}
 		if c.res.Log != nil {

@@ -1,0 +1,322 @@
+package raid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/irq"
+	"repro/internal/kernel"
+	"repro/internal/nand"
+	"repro/internal/nvme"
+	"repro/internal/pcie"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// newTimeoutRig is newRig with the host timeout/retry machinery armed:
+// the degraded-write tests pull devices offline, and an offline device
+// never completes commands, so an untolerant host would hang forever.
+func newTimeoutRig(t *testing.T, ncpu, nssd int) (*sim.Engine, *kernel.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.Config{NumCPUs: ncpu, Seed: 9,
+		Boot: sched.BootOptions{IdlePoll: true}})
+	fab := pcie.NewFabric(eng, pcie.Options{NumSSDs: nssd})
+	fw := nvme.DefaultFirmware()
+	fw.Kind = nvme.FirmwareNoSMART
+	var ssds []*nvme.Controller
+	for i := 0; i < nssd; i++ {
+		ssds = append(ssds, nvme.New(eng, nvme.Config{
+			ID: i, Fabric: fab, FW: fw, Seed: 9, Geom: nand.TinyGeometry()}))
+	}
+	ic := irq.New(eng, sch, irq.Config{NumSSDs: nssd, NumCPUs: ncpu, Seed: 9})
+	return eng, kernel.New(eng, kernel.Config{Sched: sch, IRQ: ic, SSDs: ssds,
+		Timeout: kernel.DefaultTimeoutPolicy(), Seed: 9})
+}
+
+func writeSpec(runtime sim.Duration) ClientSpec {
+	return ClientSpec{
+		Workload: WorkloadWrite, Stripe: []int{0, 1, 2, 3}, Parity: 4,
+		CPU: 1, Runtime: runtime, Seed: 1,
+	}
+}
+
+func TestCleanRMWCosts(t *testing.T) {
+	// A healthy small write is exactly the RAID-5 penalty: two pre-reads
+	// (old data, old parity) and two writes (new data, new parity).
+	eng, k := newRig(t, 2, 5)
+	res := Run(eng, k, []ClientSpec{writeSpec(200 * sim.Millisecond)})[0]
+	if res.Requests < 500 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("failed = %d on a healthy fleet", res.FailedRequests)
+	}
+	if res.RMWReads != 2*res.Requests {
+		t.Fatalf("rmw reads = %d, want 2 per request (%d)", res.RMWReads, 2*res.Requests)
+	}
+	if res.DataWrites != res.Requests || res.ParityWrites != res.Requests {
+		t.Fatalf("data=%d parity=%d writes, want %d each",
+			res.DataWrites, res.ParityWrites, res.Requests)
+	}
+	if res.SubIOs != 4*res.Requests {
+		t.Fatalf("subIOs = %d, want 4 per request", res.SubIOs)
+	}
+	for _, c := range []struct {
+		name string
+		n    int64
+	}{
+		{"degraded", res.DegradedWrites}, {"reconstruct", res.ReconstructWrites},
+		{"parity-log", res.ParityLogWrites}, {"unprotected", res.UnprotectedWrites},
+		{"hedged", res.HedgedWrites}, {"dups", res.DupCompletions},
+	} {
+		if c.n != 0 {
+			t.Fatalf("%s = %d on a healthy fleet with no tolerance", c.name, c.n)
+		}
+	}
+}
+
+func TestSmallWritePenaltyCutsThroughput(t *testing.T) {
+	// Four sub-I/Os plus the device write-admission token per request:
+	// the closed-loop write rate must sit well below the striped-read rate
+	// on the same rig.
+	eng, k := newRig(t, 2, 5)
+	wr := Run(eng, k, []ClientSpec{writeSpec(200 * sim.Millisecond)})[0]
+	eng2, k2 := newRig(t, 2, 5)
+	rd := Run(eng2, k2, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 200 * sim.Millisecond, Seed: 1,
+	}})[0]
+	if wr.Requests >= rd.Requests {
+		t.Fatalf("write requests %d not below read requests %d", wr.Requests, rd.Requests)
+	}
+}
+
+func TestUntolerantWriteErrorFailsRequest(t *testing.T) {
+	// No Tol and no kernel retries: an error on any sub-I/O fails the
+	// request, and failed requests stay out of the latency histogram.
+	eng, k := newRig(t, 2, 5)
+	k.SSDs[2].SetTransientErrorRate(1.0)
+	res := Run(eng, k, []ClientSpec{writeSpec(100 * sim.Millisecond)})[0]
+	if res.FailedRequests < 50 {
+		t.Fatalf("failed = %d with a quarter of targets erroring", res.FailedRequests)
+	}
+	if res.Requests == 0 {
+		t.Fatal("requests to healthy members should still complete")
+	}
+	if got := int64(res.Hist.Count()); got != res.Requests {
+		t.Fatalf("histogram holds %d samples for %d completed requests", got, res.Requests)
+	}
+}
+
+func TestDegradedWriteParityLogsAroundDeadMember(t *testing.T) {
+	// A dead data member: the first RMW rides the kernel timeout ladder,
+	// the timeout marks the member suspect, and later writes route
+	// straight to parity-only logging — with a periodic probe that keeps
+	// checking for recovery.
+	eng, k := newTimeoutRig(t, 2, 5)
+	k.SSDs[2].SetOffline(true)
+	spec := writeSpec(300 * sim.Millisecond)
+	spec.Tol = &Tolerance{ParitySSD: 4}
+	res := Run(eng, k, []ClientSpec{spec})[0]
+	if res.FailedRequests != 0 {
+		t.Fatalf("failed = %d with parity logging available", res.FailedRequests)
+	}
+	if res.ParityLogWrites == 0 || res.DegradedWrites == 0 {
+		t.Fatalf("parity-log = %d degraded = %d; the outage was never routed around",
+			res.ParityLogWrites, res.DegradedWrites)
+	}
+	if res.Suspicions == 0 {
+		t.Fatal("the dead member was never marked suspect")
+	}
+	if res.Probes == 0 {
+		t.Fatal("no optimistic probe was sent to the suspect member")
+	}
+	if res.ReconstructWrites != 0 {
+		t.Fatalf("reconstruct = %d; a dead member must parity-log, not reconstruct",
+			res.ReconstructWrites)
+	}
+}
+
+func TestUnreadableOldDataReconstructs(t *testing.T) {
+	// The member answers but its media is bad everywhere: old data is
+	// unreadable, so parity is recomputed from the peers and both data and
+	// parity are written (the member itself still accepts writes, and a
+	// write heals the slice — so only the first write per LBA degrades).
+	eng, k := newRig(t, 2, 5)
+	for lba := int64(0); lba < k.SSDs[2].Flash.LogicalSlices(); lba++ {
+		k.SSDs[2].MarkBadLBA(lba)
+	}
+	spec := writeSpec(100 * sim.Millisecond)
+	spec.Tol = &Tolerance{ParitySSD: 4}
+	res := Run(eng, k, []ClientSpec{spec})[0]
+	if res.FailedRequests != 0 {
+		t.Fatalf("failed = %d with reconstruction available", res.FailedRequests)
+	}
+	if res.ReconstructWrites == 0 {
+		t.Fatal("no write took the reconstruct path over bad media")
+	}
+	if res.Suspicions != 0 {
+		t.Fatalf("suspicions = %d; media errors are not deadness", res.Suspicions)
+	}
+}
+
+func TestWriteHedgeDuplicatesStuckParity(t *testing.T) {
+	// The parity member drops half its commands with retryable errors;
+	// the kernel retry backoff (500µs+) dwarfs the hedge delay, so the
+	// hedge re-issues the parity write as an idempotent duplicate. When
+	// both the original and the duplicate eventually land, the second CQE
+	// must be suppressed as a duplicate completion, not double-counted.
+	eng, k := newTimeoutRig(t, 2, 5)
+	k.SSDs[4].SetTransientErrorRate(0.5)
+	spec := writeSpec(300 * sim.Millisecond)
+	spec.Tol = &Tolerance{ParitySSD: 4, HedgeQuantile: 0.99,
+		HedgeMin: 150 * sim.Microsecond, MinSamples: math.MaxInt64}
+	res := Run(eng, k, []ClientSpec{spec})[0]
+	if res.FailedRequests != 0 {
+		t.Fatalf("failed = %d; data writes never touch the flaky parity", res.FailedRequests)
+	}
+	if res.HedgedWrites == 0 {
+		t.Fatal("the hedge never fired against a parity member in retry backoff")
+	}
+	if res.WriteHedgeWins == 0 {
+		t.Fatal("no hedge duplicate ever landed first")
+	}
+	if res.DupCompletions == 0 {
+		t.Fatal("original and duplicate both landing never produced a suppressed CQE")
+	}
+	if res.Suspicions == 0 || res.UnprotectedWrites == 0 {
+		t.Fatalf("suspicions=%d unprotected=%d; the flaky parity was never routed around",
+			res.Suspicions, res.UnprotectedWrites)
+	}
+}
+
+func TestDeadParityLandsUnprotected(t *testing.T) {
+	// The parity member is gone: rather than block every write behind the
+	// timeout ladder forever, the client lands data unprotected and keeps
+	// probing for the parity path to return.
+	eng, k := newTimeoutRig(t, 2, 5)
+	k.SSDs[4].SetOffline(true)
+	spec := writeSpec(300 * sim.Millisecond)
+	spec.Tol = &Tolerance{ParitySSD: 4}
+	res := Run(eng, k, []ClientSpec{spec})[0]
+	if res.FailedRequests != 0 {
+		t.Fatalf("failed = %d with the unprotected fallback available", res.FailedRequests)
+	}
+	if res.UnprotectedWrites == 0 {
+		t.Fatal("no write landed unprotected with parity dead")
+	}
+	if res.DegradedWrites != 0 {
+		t.Fatalf("degraded = %d; nothing can parity-log without parity", res.DegradedWrites)
+	}
+}
+
+func TestRebuildReconstructsEveryStripe(t *testing.T) {
+	eng, k := newRig(t, 2, 6)
+	var got *RebuildResult
+	rb := NewRebuilder(eng, k, RebuildSpec{
+		Survivors: []int{1, 2, 3}, Parity: 4, Target: 0,
+		CPU: 1, Stripes: 64,
+	})
+	rb.Start(func(r *RebuildResult) { got = r })
+	eng.RunUntil(sim.Time(0).Add(500 * sim.Millisecond))
+	if got == nil || !got.Done {
+		t.Fatalf("rebuild never finished: %+v", rb.Result())
+	}
+	if got.StripesRebuilt != 64 || got.StripesFailed != 0 {
+		t.Fatalf("rebuilt=%d failed=%d, want 64/0", got.StripesRebuilt, got.StripesFailed)
+	}
+	if got.Reads != 64*4 {
+		t.Fatalf("reads = %d, want 4 per stripe (3 survivors + parity)", got.Reads)
+	}
+	if got.Writes != 64 {
+		t.Fatalf("writes = %d, want one per stripe", got.Writes)
+	}
+	if got.FinishedAt <= got.StartedAt {
+		t.Fatalf("finished %v not after started %v", got.FinishedAt, got.StartedAt)
+	}
+}
+
+func TestRebuildSkipsUnreadableStripe(t *testing.T) {
+	// A survivor with a bad slice: that one stripe cannot be rebuilt now;
+	// the stream counts it failed and moves on instead of stalling.
+	eng, k := newRig(t, 2, 6)
+	k.SSDs[1].MarkBadLBA(5)
+	rb := NewRebuilder(eng, k, RebuildSpec{
+		Survivors: []int{1, 2, 3}, Parity: 4, Target: 0,
+		CPU: 1, Stripes: 64,
+	})
+	rb.Start(nil)
+	eng.RunUntil(sim.Time(0).Add(500 * sim.Millisecond))
+	got := rb.Result()
+	if !got.Done {
+		t.Fatal("rebuild never finished")
+	}
+	if got.StripesFailed != 1 || got.ReadErrors != 1 {
+		t.Fatalf("failed=%d read-errors=%d, want 1/1", got.StripesFailed, got.ReadErrors)
+	}
+	if got.StripesRebuilt != 63 {
+		t.Fatalf("rebuilt = %d, want 63", got.StripesRebuilt)
+	}
+}
+
+func TestRebuildThrottleTradesElapsedTime(t *testing.T) {
+	elapsed := func(throttle sim.Duration) sim.Duration {
+		eng, k := newRig(t, 2, 6)
+		rb := NewRebuilder(eng, k, RebuildSpec{
+			Survivors: []int{1, 2, 3}, Parity: 4, Target: 0,
+			CPU: 1, Stripes: 64, Throttle: throttle,
+		})
+		rb.Start(nil)
+		eng.RunUntil(sim.Time(0).Add(sim.Second))
+		got := rb.Result()
+		if !got.Done {
+			t.Fatalf("rebuild at throttle %v never finished", throttle)
+		}
+		return got.FinishedAt.Sub(got.StartedAt)
+	}
+	flat, throttled := elapsed(0), elapsed(500*sim.Microsecond)
+	// 64 extra 500µs pauses: the throttled stream must be ≥ 32ms slower.
+	if throttled < flat+32*sim.Millisecond {
+		t.Fatalf("throttled %v not well above flat-out %v", throttled, flat)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	eng, k := newRig(t, 2, 5)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("parity inside the data stripe", func() {
+		New(eng, k, ClientSpec{Workload: WorkloadWrite,
+			Stripe: []int{0, 1}, Parity: 1, CPU: 1})
+	})
+	mustPanic("parity out of range", func() {
+		New(eng, k, ClientSpec{Workload: WorkloadWrite,
+			Stripe: []int{0, 1}, Parity: 9, CPU: 1})
+	})
+	mustPanic("Tol.ParitySSD disagreeing with Parity", func() {
+		New(eng, k, ClientSpec{Workload: WorkloadWrite,
+			Stripe: []int{0, 1}, Parity: 4, CPU: 1, Tol: &Tolerance{ParitySSD: 3}})
+	})
+	mustPanic("rebuild with no survivors", func() {
+		NewRebuilder(eng, k, RebuildSpec{Parity: 4, Target: 0, CPU: 1, Stripes: 8})
+	})
+	mustPanic("rebuild survivor equal to target", func() {
+		NewRebuilder(eng, k, RebuildSpec{Survivors: []int{0}, Parity: 4,
+			Target: 0, CPU: 1, Stripes: 8})
+	})
+	mustPanic("rebuild target equal to parity", func() {
+		NewRebuilder(eng, k, RebuildSpec{Survivors: []int{1}, Parity: 0,
+			Target: 0, CPU: 1, Stripes: 8})
+	})
+	mustPanic("rebuild with zero stripes", func() {
+		NewRebuilder(eng, k, RebuildSpec{Survivors: []int{1}, Parity: 4,
+			Target: 0, CPU: 1})
+	})
+}

@@ -1,31 +1,31 @@
 #!/usr/bin/env bash
 # Extended tier-1 gate: everything CI needs to trust a change.
 #
-#   build     — the module compiles;
-#   vet       — stdlib static checks;
-#   afalint   — the determinism contract (DESIGN.md §5): no wall clock,
-#               no global rand, no map-order dependence, no concurrency
-#               or float equality in the sim core, no sim-core import of
-#               the orchestration tier (DESIGN.md §7);
-#   race test — full suite under the race detector (the sim core is
-#               single-threaded by contract and the runner tier merges
-#               in submission order, so this must be silent);
-#   shuffle   — full suite again with test order shuffled: no test may
-#               depend on state another test left behind;
-#   parallel  — the serial-vs-parallel determinism cross-check re-run
-#               under -race: exported reports must be byte-identical at
-#               -parallel 1 and 8, and the worker pool must be clean
-#               under the detector;
-#   fault     — the fault-injection and tolerance paths re-run under
-#               -race with full verbosity counts: the timeout/abort/hedge
-#               machinery is the most callback-entangled code in the tree.
+#   build        — the module compiles;
+#   vet          — stdlib static checks;
+#   afalint      — the determinism contract (DESIGN.md §5): no wall
+#                  clock, no global rand, no map-order dependence, no
+#                  concurrency or float equality in the sim core, no
+#                  sim-core import of the orchestration tier (§7);
+#   race+shuffle — the full suite once, under the race detector with
+#                  test order shuffled: the sim core is single-threaded
+#                  by contract and the runner tier merges in submission
+#                  order, so the detector must be silent, and no test
+#                  may depend on state another test left behind. One
+#                  pass covers what used to be three (-race, -shuffle,
+#                  and a fault/kernel/raid re-run): the fault, timeout,
+#                  write-path, and rebuild tests all live in the suite
+#                  this runs, and -shuffle=on implies -count=1 so
+#                  nothing is served from the test cache.
+#   parallel     — the serial-vs-parallel determinism cross-check re-run
+#                  under -race: exported reports of every fan-out —
+#                  including the write ablation and its rebuild stream —
+#                  must be byte-identical at -parallel 1 and 8.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
 go run ./cmd/afalint ./...
-go test -race ./...
-go test -shuffle=on ./...
+go test -race -shuffle=on ./...
 go test -race -count=1 -run 'TestParallelDeterminism|TestMap' ./internal/core/ ./internal/runner/
-go test -race -count=1 ./internal/fault/ ./internal/kernel/ ./internal/raid/
