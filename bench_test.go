@@ -424,6 +424,53 @@ func BenchmarkWritePath(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughput measures the simulator's own inner loop:
+// discrete events per wall-clock second on the headline configuration
+// (64 SSDs, default kernel, one QD1 FIO thread per device). Every
+// figure, ablation, and sweep in this repository is a multiple of this
+// number, so it is tracked per commit in BENCH_engine.json like the
+// parallel and write-path benches. The afaperf rules (`afalint -perf`)
+// police the hot set this benchmark exercises; EXPERIMENTS.md records
+// the before/after of the PR-6 hot-path overhaul.
+func BenchmarkEngineThroughput(b *testing.B) {
+	o := benchOpts()
+	var row core.EngineBenchRow
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Options{NumSSDs: o.NumSSDs, Seed: o.Seed})
+		t0 := time.Now() //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		res := sys.RunFIO(core.RunSpec{Runtime: o.Runtime})
+		wall := time.Since(t0) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		var ios int64
+		for _, r := range res {
+			if r != nil {
+				ios += r.IOs
+			}
+		}
+		row = core.EngineBenchRow{
+			Experiment:   "headline-64ssd",
+			NumSSDs:      o.NumSSDs,
+			Events:       int64(sys.Eng.Steps()),
+			IOs:          ios,
+			WallMs:       float64(wall) / 1e6,
+			EventsPerSec: float64(sys.Eng.Steps()) / wall.Seconds(),
+		}
+	}
+	b.ReportMetric(row.EventsPerSec/1e6, "Mevents/sec")
+	b.ReportMetric(float64(row.Events), "events")
+	b.ReportMetric(float64(row.IOs), "ios")
+	if row.Events == 0 || row.IOs == 0 {
+		b.Fatalf("engine throughput run fired %d events for %d IOs; the workload did not run", row.Events, row.IOs)
+	}
+	f, err := os.Create("BENCH_engine.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := core.WriteEngineBenchJSON(f, []core.EngineBenchRow{row}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSeedSweep exercises the seed-sweep path behind afareport's
 // -seeds flag: Fig 9 at REPRO_SEEDS derived seeds (default 4) fanned out
 // in parallel, then pooled into one N×64-device fleet. Sweeps are the

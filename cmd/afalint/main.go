@@ -15,6 +15,13 @@
 //	afalint -json ./...           # findings as JSON
 //	afalint -gha ./...            # findings as GitHub Actions annotations
 //
+//	# run the afaperf performance family (hot-set rules) instead of the
+//	# determinism contract; optionally cross-check hotalloc candidates
+//	# against compiler escape analysis:
+//	afalint -perf ./...
+//	go build -gcflags='-m -m' ./... 2>escape.txt
+//	afalint -perf -escape-data escape.txt ./...
+//
 //	# lint a bare directory (e.g. the fixture corpus) as if it were
 //	# the named package; the import path controls rule scoping:
 //	afalint -as repro/internal/sim ./internal/lint/testdata/nogoroutine
@@ -57,12 +64,17 @@ func main() {
 		asPath        = flag.String("as", "", "lint a single directory under this import path (scope override)")
 		baselinePath  = flag.String("baseline", "", "filter findings through this baseline file; stale entries warn on stderr")
 		writeBaseline = flag.String("write-baseline", "", "record current findings to this baseline file and exit")
+		perf          = flag.Bool("perf", false, "run the afaperf hot-set performance rules instead of the determinism contract")
+		escapeData    = flag.String("escape-data", "", "with -perf: narrow hotalloc to sites in this `go build -gcflags=-m` output")
 	)
 	flag.Parse()
 
 	if *listRules {
-		for _, r := range lint.AllRules() {
-			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
+		for _, fam := range ruleFamilies() {
+			fmt.Printf("%s:\n", fam.title)
+			for _, r := range fam.rules {
+				fmt.Printf("  %-14s %s\n", r.Name(), r.Doc())
+			}
 		}
 		return
 	}
@@ -111,7 +123,23 @@ func main() {
 		fatal(fmt.Errorf("no packages match %v", patterns))
 	}
 
-	findings := lint.Run(selected, lint.AllRules())
+	rules := lint.AllRules()
+	var esc *lint.EscapeIndex
+	if *perf {
+		rules = lint.PerfRules()
+		if *escapeData != "" {
+			data, err := os.ReadFile(*escapeData)
+			if err != nil {
+				fatal(err)
+			}
+			esc = lint.ParseEscapeOutput(data)
+			fmt.Fprintf(os.Stderr, "afalint: escape data covers %d allocation site(s)\n", esc.Len())
+		}
+	} else if *escapeData != "" {
+		fatal(fmt.Errorf("-escape-data only applies with -perf"))
+	}
+
+	findings := lint.RunWithEscape(selected, rules, esc)
 	// Run sorts, but output order is this command's contract with CI
 	// diffing and the baseline file: keep it byte-stable here regardless
 	// of how the library evolves.
@@ -182,14 +210,30 @@ func ghaAnnotation(f lint.Finding, root string) string {
 		file, f.Pos.Line, f.Pos.Column, f.Rule, esc.Replace(f.Msg))
 }
 
+// ruleFamily groups one rule set under its banner for -rules and -doc.
+type ruleFamily struct {
+	title string
+	rules []lint.Rule
+}
+
+func ruleFamilies() []ruleFamily {
+	return []ruleFamily{
+		{"determinism contract (default)", lint.AllRules()},
+		{"performance contract (-perf)", lint.PerfRules()},
+	}
+}
+
 // ruleDoc renders the rule table as markdown, the generated half of the
-// rule documentation in README.md and DESIGN.md §5.
+// rule documentation in README.md and DESIGN.md §5/§8. Both families
+// share one table; the scope column says where each rule applies.
 func ruleDoc() string {
 	var sb strings.Builder
-	sb.WriteString("| Rule | What it enforces |\n")
-	sb.WriteString("|------|------------------|\n")
-	for _, r := range lint.AllRules() {
-		sb.WriteString(fmt.Sprintf("| `%s` | %s |\n", r.Name(), r.Doc()))
+	sb.WriteString("| Rule | Scope | What it enforces |\n")
+	sb.WriteString("|------|-------|------------------|\n")
+	for _, fam := range ruleFamilies() {
+		for _, r := range fam.rules {
+			sb.WriteString(fmt.Sprintf("| `%s` | %s | %s |\n", r.Name(), r.Scope(), r.Doc()))
+		}
 	}
 	return sb.String()
 }

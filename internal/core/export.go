@@ -130,6 +130,34 @@ func WriteParallelBenchJSON(w io.Writer, rows []ParallelBenchRow) error {
 	return enc.Encode(rows)
 }
 
+// EngineBenchRow is one engine-throughput measurement: how many
+// discrete events per wall-clock second the simulator's inner loop
+// sustains on a given configuration (bench_test.go's
+// BenchmarkEngineThroughput); BENCH_engine.json holds a list of them.
+// Events/sec multiplies every figure and sweep the repository runs, so
+// its trajectory is archived per commit like the other BENCH files.
+type EngineBenchRow struct {
+	// Experiment names the driven workload, e.g. "headline-64ssd".
+	Experiment string `json:"experiment"`
+	NumSSDs    int    `json:"num_ssds"`
+	// Events is the number of engine steps the run fired.
+	Events int64 `json:"events"`
+	// IOs is the number of I/Os completed across all jobs.
+	IOs int64 `json:"ios"`
+	// WallMs is host wall-clock time for the run, not simulated time.
+	WallMs float64 `json:"wall_ms"`
+	// EventsPerSec is the headline metric: Events / (WallMs/1000).
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// WriteEngineBenchJSON emits the engine-throughput summary as indented
+// JSON, through the same export path the other BENCH files use.
+func WriteEngineBenchJSON(w io.Writer, rows []EngineBenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
 // ReadDistributionJSON parses what WriteDistributionJSON wrote — round-trip
 // support for external tooling and tests.
 func ReadDistributionJSON(rd io.Reader) (Distribution, error) {

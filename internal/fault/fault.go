@@ -119,7 +119,7 @@ func (in *Injector) at(t sim.Time, fn func()) {
 	if t < in.eng.Now() {
 		t = in.eng.Now()
 	}
-	in.eng.At(t, fn)
+	in.eng.ScheduleAt(t, fn)
 }
 
 // arm schedules every transition of one profile.

@@ -145,6 +145,15 @@ type Job struct {
 
 	// per-I/O bookkeeping for the completion burst
 	pending []kernel.Completion
+
+	// Bound-method values allocate a closure each time they're evaluated,
+	// and the submit/complete/reap cycle evaluates one per I/O; bind them
+	// once instead.
+	onCompleteFn func(kernel.Completion)
+	reapFn       func()
+	submitFn     func()
+	pollSpinFn   func()
+	thinkFn      func()
 }
 
 // New creates a job (thread is created sleeping; Start launches it).
@@ -170,6 +179,15 @@ func New(eng *sim.Engine, k *kernel.Kernel, spec JobSpec) *Job {
 		prio = 0
 	}
 	j.task = k.Sched.NewTask("fio/"+spec.Name, spec.Class, prio, spec.CPUsAllowed)
+	j.pending = make([]kernel.Completion, 0, spec.IODepth)
+	j.onCompleteFn = j.onComplete
+	j.reapFn = j.reap
+	j.submitFn = j.submitWindow
+	j.pollSpinFn = j.pollSpin
+	j.thinkFn = func() {
+		j.task.Exec(j.submitCost(1), j.submitFn)
+		j.k.Sched.Wake(j.task)
+	}
 	return j
 }
 
@@ -183,11 +201,11 @@ func (j *Job) Task() *sched.Task { return j.task }
 func (j *Job) Start(onDone func(*Result)) {
 	j.onDone = onDone
 	ramp := sim.Duration(j.rnd.Int63n(int64(200 * sim.Microsecond)))
-	j.eng.After(ramp, func() {
+	j.eng.Schedule(ramp, func() {
 		j.start = j.eng.Now()
 		j.deadline = j.start.Add(j.spec.Runtime)
 		// First burst: submit the initial window.
-		j.task.Exec(j.submitCost(j.spec.IODepth), func() { j.submitWindow() })
+		j.task.Exec(j.submitCost(j.spec.IODepth), j.submitFn)
 		j.k.Sched.Wake(j.task)
 	})
 }
@@ -229,18 +247,18 @@ func (j *Job) submitWindow() {
 	for j.inflight < j.spec.IODepth {
 		j.inflight++
 		cmd := nvme.Command{Op: j.opcode(), LBA: j.nextLBA(), Bytes: j.spec.BS}
-		j.k.SubmitIO(j.task.CPU(), j.spec.SSD, cmd, j.onComplete)
+		j.k.SubmitIO(j.task.CPU(), j.spec.SSD, cmd, j.onCompleteFn)
 	}
 	if j.k.Mode() == kernel.CompletePolling {
 		// Spin on the CQ instead of sleeping: the latency win and the CPU
 		// burn of polling both fall out of this loop.
-		j.task.Exec(j.k.Costs().PollCheck, j.pollSpin)
+		j.task.Exec(j.k.Costs().PollCheck, j.pollSpinFn)
 		return
 	}
 	// Completions may have raced in while this thread was submitting
 	// (QD > 1); reap them now rather than sleeping.
 	if len(j.pending) > 0 {
-		j.task.Exec(j.reapCost(len(j.pending)), j.reap)
+		j.task.Exec(j.reapCost(len(j.pending)), j.reapFn)
 	}
 	// Otherwise no further Exec: the thread sleeps until a wake.
 }
@@ -258,10 +276,10 @@ func (j *Job) reapCost(n int) sim.Duration {
 // pollSpin is one CQ poll iteration in polling mode.
 func (j *Job) pollSpin() {
 	if len(j.pending) > 0 {
-		j.task.Exec(sim.Duration(len(j.pending))*j.k.Costs().Complete, j.reap)
+		j.task.Exec(sim.Duration(len(j.pending))*j.k.Costs().Complete, j.reapFn)
 		return
 	}
-	j.task.Exec(j.k.Costs().PollCheck, j.pollSpin)
+	j.task.Exec(j.k.Costs().PollCheck, j.pollSpinFn)
 }
 
 // onComplete runs in softirq context on the delivery CPU (or inline in
@@ -277,7 +295,7 @@ func (j *Job) onComplete(c kernel.Completion) {
 	// Only a sleeping thread needs a wake; a running or queued one will
 	// reap this completion at its next burst boundary.
 	if j.task.State() == sched.StateSleeping {
-		j.task.Exec(j.reapCost(1), j.reap)
+		j.task.Exec(j.reapCost(1), j.reapFn)
 		j.k.Sched.Wake(j.task)
 	}
 }
@@ -322,10 +340,7 @@ func (j *Job) reap() {
 		return
 	}
 	if j.spec.ThinkTime > 0 {
-		j.eng.After(j.spec.ThinkTime, func() {
-			j.task.Exec(j.submitCost(1), j.submitWindow)
-			j.k.Sched.Wake(j.task)
-		})
+		j.eng.Schedule(j.spec.ThinkTime, j.thinkFn)
 		return
 	}
 	j.submitWindow()

@@ -89,6 +89,46 @@ type Controller struct {
 	// OnDeliver, when set, observes every delivery (the trace package's
 	// irq_handler_entry probe).
 	OnDeliver func(Delivery)
+
+	// freeReqs recycles delivery carriers (see delivReq); a plain slice
+	// keeps reuse order deterministic.
+	freeReqs []*delivReq
+}
+
+// delivReq carries one interrupt through its stolen-time window. Pooled
+// with the fire callback bound once, so per-delivery traffic doesn't
+// allocate a closure per interrupt.
+type delivReq struct {
+	c      *Controller
+	d      Delivery
+	done   func(Delivery)
+	fireFn func()
+}
+
+// fire runs after the hardirq+softirq window: release first, then hand
+// the delivery to the completion path (which may trigger further
+// deliveries that reuse this carrier).
+func (r *delivReq) fire() {
+	c := r.c
+	d, done := r.d, r.done
+	r.done = nil
+	c.freeReqs = append(c.freeReqs, r)
+	done(d)
+}
+
+func (c *Controller) getReq(d Delivery, done func(Delivery)) *delivReq {
+	var r *delivReq
+	if n := len(c.freeReqs); n > 0 {
+		r = c.freeReqs[n-1]
+		c.freeReqs[n-1] = nil
+		c.freeReqs = c.freeReqs[:n-1]
+	} else {
+		r = &delivReq{c: c} //afalint:allow hotalloc -- freelist miss only; amortized across carrier reuses
+		r.fireFn = r.fire   //afalint:allow hotalloc -- fire callback bound once per pooled carrier
+	}
+	r.d = d
+	r.done = done
+	return r
 }
 
 // Policy selects the balancer algorithm.
@@ -275,7 +315,7 @@ func (c *Controller) DeliverN(ssd, queue, n int, done func(Delivery)) {
 	if d.CrossSocket {
 		cost += c.costs.CrossSocketExtra
 	}
-	c.sch.CPU(cpu).Steal(cost, func() { done(d) })
+	c.sch.CPU(cpu).Steal(cost, c.getReq(d, done).fireFn)
 }
 
 // perExtraCQE is the marginal softirq cost of each additional coalesced

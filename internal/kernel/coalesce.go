@@ -31,7 +31,8 @@ type coalescer struct {
 	ssd     int
 	queue   int
 	pending []pendingCQE
-	timer   *sim.Event
+	timer   *sim.Timer
+	flushFn func() // c.flush bound once: the timer re-arms per batch
 }
 
 type pendingCQE struct {
@@ -45,16 +46,13 @@ func (c *coalescer) add(res nvme.Result, done func(Completion)) {
 		c.flush()
 		return
 	}
-	if c.timer == nil {
-		c.timer = c.k.eng.After(c.k.coalesce.Timeout, c.flush)
+	if !c.timer.Armed() {
+		c.timer.Arm(c.k.coalesce.Timeout, c.flushFn)
 	}
 }
 
 func (c *coalescer) flush() {
-	if c.timer != nil {
-		c.k.eng.Cancel(c.timer)
-		c.timer = nil
-	}
+	c.timer.Cancel()
 	if len(c.pending) == 0 {
 		return
 	}
@@ -82,7 +80,8 @@ func (k *Kernel) coalescerFor(ssd, queue int) *coalescer {
 	if c, ok := k.coalescers[key]; ok {
 		return c
 	}
-	c := &coalescer{k: k, ssd: ssd, queue: queue}
+	c := &coalescer{k: k, ssd: ssd, queue: queue, timer: k.eng.NewTimer()}
+	c.flushFn = c.flush
 	k.coalescers[key] = c
 	return c
 }

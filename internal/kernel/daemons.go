@@ -90,6 +90,11 @@ type Daemon struct {
 	burstsLeft int
 	sessions   int64
 	stopped    bool
+
+	// wake/burstDone bound once so the sleep→wake→burst cycle doesn't
+	// allocate a method-value closure per session.
+	wakeFn      func()
+	burstDoneFn func()
 }
 
 // StartDaemons launches the given background population. Call once.
@@ -101,6 +106,8 @@ func (k *Kernel) StartDaemons(specs []DaemonSpec) {
 			rnd:  k.rnd.Derive("daemon-" + spec.Name),
 		}
 		d.task = k.Sched.NewTask(spec.Name, sched.ClassCFS, spec.Nice, spec.Affinity)
+		d.wakeFn = d.wake
+		d.burstDoneFn = d.burstDone
 		k.daemons = append(k.daemons, d)
 		d.scheduleWake()
 	}
@@ -126,7 +133,7 @@ func (d *Daemon) scheduleWake() {
 	if delay < sim.Millisecond {
 		delay = sim.Millisecond
 	}
-	d.k.eng.After(delay, d.wake)
+	d.k.eng.Schedule(delay, d.wakeFn)
 }
 
 func (d *Daemon) wake() {
@@ -135,7 +142,7 @@ func (d *Daemon) wake() {
 	}
 	d.sessions++
 	d.burstsLeft = d.Spec.BurstsPerSession
-	d.task.Exec(d.burstLen(), d.burstDone)
+	d.task.Exec(d.burstLen(), d.burstDoneFn)
 	d.k.Sched.Wake(d.task)
 }
 
@@ -150,7 +157,7 @@ func (d *Daemon) burstLen() sim.Duration {
 func (d *Daemon) burstDone() {
 	d.burstsLeft--
 	if d.burstsLeft > 0 {
-		d.task.Exec(d.burstLen(), d.burstDone)
+		d.task.Exec(d.burstLen(), d.burstDoneFn)
 		return
 	}
 	// Session over: implicit sleep; arrange the next one.

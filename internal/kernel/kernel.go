@@ -72,6 +72,10 @@ type Kernel struct {
 	timeout TimeoutPolicy
 	iostats IOStats
 
+	// freeReqs recycles per-I/O completion carriers (see kioReq); a plain
+	// slice keeps reuse order deterministic.
+	freeReqs []*kioReq
+
 	// tick-work model state
 	tickRnd *rng.Stream
 }
@@ -184,34 +188,94 @@ func (k *Kernel) SubmitIO(submitCPU, ssd int, cmd nvme.Command, done func(Comple
 	k.submitOnce(submitCPU, ssd, cmd, done)
 }
 
-// submitOnce is the raw single-attempt submit path.
+// kioReq carries one I/O's host-side completion state from the device
+// CQE through interrupt delivery. Requests are recycled through the
+// kernel's freelist with their callbacks bound once, so the per-I/O
+// submit path allocates nothing (the closures this replaces were among
+// the top allocation sites).
+type kioReq struct {
+	k         *Kernel
+	submitCPU int
+	ssd       int
+	res       nvme.Result
+	done      func(Completion)
+
+	onResFn   func(nvme.Result)
+	onDelivFn func(irq.Delivery)
+}
+
+func (k *Kernel) getReq(submitCPU, ssd int, done func(Completion)) *kioReq {
+	var r *kioReq
+	if n := len(k.freeReqs); n > 0 {
+		r = k.freeReqs[n-1]
+		k.freeReqs[n-1] = nil
+		k.freeReqs = k.freeReqs[:n-1]
+	} else {
+		r = &kioReq{k: k}          //afalint:allow hotalloc -- freelist miss only; amortized across carrier reuses
+		r.onResFn = r.onResult     //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		r.onDelivFn = r.onDelivery //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+	}
+	r.submitCPU = submitCPU
+	r.ssd = ssd
+	r.done = done
+	return r
+}
+
+func (k *Kernel) putReq(r *kioReq) {
+	r.done = nil
+	r.res = nvme.Result{}
+	k.freeReqs = append(k.freeReqs, r)
+}
+
+// submitOnce is the raw single-attempt submit path. A command dropped by
+// an offline device never completes; its carrier is simply garbage — the
+// freelist only recycles requests that finish.
 func (k *Kernel) submitOnce(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
 	cmd.Queue = submitCPU
-	k.SSDs[ssd].Submit(cmd, func(res nvme.Result) {
-		switch k.mode {
-		case CompletePolling:
-			// The polling thread spins on the CQ: no interrupt, no wake
-			// penalty. Delivery is synthesized as local.
-			done(Completion{
-				Result:      res,
-				Delivery:    irq.Delivery{SSD: ssd, Queue: submitCPU, Executed: submitCPU},
-				DeliveredAt: k.eng.Now(),
-				Status:      res.Status,
-			})
-		default:
-			if k.coalesce.Enabled() {
-				k.coalescerFor(ssd, submitCPU).add(res, done)
-				return
-			}
-			k.IRQ.Deliver(ssd, submitCPU, func(d irq.Delivery) {
-				done(Completion{
-					Result:      res,
-					Delivery:    d,
-					WakePenalty: k.IRQ.WakePenalty(d),
-					DeliveredAt: k.eng.Now(),
-					Status:      res.Status,
-				})
-			})
+	r := k.getReq(submitCPU, ssd, done)
+	k.SSDs[ssd].Submit(cmd, r.onResFn)
+}
+
+// onResult is the device CQE landing on the host.
+func (r *kioReq) onResult(res nvme.Result) {
+	k := r.k
+	switch k.mode {
+	case CompletePolling:
+		// The polling thread spins on the CQ: no interrupt, no wake
+		// penalty. Delivery is synthesized as local.
+		done := r.done
+		comp := Completion{
+			Result:      res,
+			Delivery:    irq.Delivery{SSD: r.ssd, Queue: r.submitCPU, Executed: r.submitCPU},
+			DeliveredAt: k.eng.Now(),
+			Status:      res.Status,
 		}
-	})
+		k.putReq(r)
+		done(comp)
+	default:
+		if k.coalesce.Enabled() {
+			done := r.done
+			ssd, queue := r.ssd, r.submitCPU
+			k.putReq(r)
+			k.coalescerFor(ssd, queue).add(res, done)
+			return
+		}
+		r.res = res
+		k.IRQ.Deliver(r.ssd, r.submitCPU, r.onDelivFn)
+	}
+}
+
+// onDelivery is the MSI-X interrupt reaching the submitting thread.
+func (r *kioReq) onDelivery(d irq.Delivery) {
+	k := r.k
+	done := r.done
+	comp := Completion{
+		Result:      r.res,
+		Delivery:    d,
+		WakePenalty: k.IRQ.WakePenalty(d),
+		DeliveredAt: k.eng.Now(),
+		Status:      r.res.Status,
+	}
+	k.putReq(r)
+	done(comp)
 }

@@ -112,7 +112,7 @@ func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int
 		}
 		// Abort admin round-trip, then retry or surface the failure. The
 		// aborted attempt's CQE, should it still arrive, is dropped above.
-		k.eng.After(k.timeout.AbortCost, func() {
+		k.eng.Schedule(k.timeout.AbortCost, func() {
 			failed := Completion{
 				Result: nvme.Result{
 					Cmd: cmd, SubmittedAt: first, Status: nvme.StatusAborted,
@@ -165,7 +165,7 @@ func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, 
 	if cmd.Op == nvme.OpWrite {
 		k.iostats.WriteRetries++
 	}
-	k.eng.After(k.timeout.backoffFor(attempt), func() {
+	k.eng.Schedule(k.timeout.backoffFor(attempt), func() {
 		k.submitAttempt(submitCPU, ssd, cmd, attempt+1, first, done)
 	})
 }

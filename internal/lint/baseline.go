@@ -94,7 +94,7 @@ func WriteBaseline(findings []Finding, root string) []byte {
 	}
 	sort.Strings(lines)
 	var sb strings.Builder
-	sb.WriteString("# afalint baseline: known determinism-contract debts.\n")
+	sb.WriteString("# afalint baseline: known accepted debts.\n")
 	sb.WriteString("# Each line excuses one finding (file: message [rule]); delete lines as debts are fixed.\n")
 	for _, l := range lines {
 		sb.WriteString(l)

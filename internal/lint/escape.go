@@ -1,0 +1,79 @@
+// Escape-analysis cross-check for the hotalloc rule. The rule's
+// syntactic candidates (&T{}, new, closures, method values) are what
+// *can* allocate; the compiler's escape analysis knows what *does*.
+// Feeding afalint the output of
+//
+//	go build -gcflags='-m -m' ./... 2>escape.txt
+//	afalint -perf -escape-data escape.txt ./...
+//
+// narrows hotalloc to the sites the compiler actually moved to the
+// heap. Without escape data the rule stays conservative and reports
+// every candidate — a superset, so a baseline recorded without escape
+// data never under-reports with it.
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeIndex records which source lines the compiler reported a
+// heap allocation on. Matching is by (file basename, line): the
+// compiler prints paths relative to the build directory while the
+// analyzer may hold absolute paths, and diagnostic columns differ
+// from AST node columns. Line granularity is exact enough in practice
+// and same-named files on the same line colliding is harmless — it
+// can only keep a candidate that a stricter match would drop.
+type EscapeIndex struct {
+	lines map[string]bool
+}
+
+// escapeMarkers are the -m diagnostics that mean a heap allocation:
+// "escapes to heap" covers new/&T{}/boxing/"func literal escapes",
+// "moved to heap" covers captured variables promoted off the stack.
+var escapeMarkers = []string{"escapes to heap", "moved to heap"}
+
+// ParseEscapeOutput indexes `go build -gcflags=-m` stderr. Lines that
+// are not position-prefixed diagnostics (package banners, "# repro/..."
+// headers, inline decisions) are ignored.
+func ParseEscapeOutput(data []byte) *EscapeIndex {
+	idx := &EscapeIndex{lines: map[string]bool{}}
+	for _, line := range strings.Split(string(data), "\n") {
+		marked := false
+		for _, m := range escapeMarkers {
+			if strings.Contains(line, m) {
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			continue
+		}
+		// Position prefix: path.go:line:col: message
+		head, _, ok := strings.Cut(line, ": ")
+		if !ok {
+			continue
+		}
+		parts := strings.Split(head, ":")
+		if len(parts) < 2 || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		if _, err := strconv.Atoi(parts[1]); err != nil {
+			continue
+		}
+		idx.lines[filepath.Base(parts[0])+":"+parts[1]] = true
+	}
+	return idx
+}
+
+// Len reports how many distinct (file, line) allocation sites the
+// index holds.
+func (ix *EscapeIndex) Len() int { return len(ix.lines) }
+
+// EscapesAt reports whether the compiler flagged pos's line as
+// allocating.
+func (ix *EscapeIndex) EscapesAt(pos token.Position) bool {
+	return ix.lines[filepath.Base(pos.Filename)+":"+strconv.Itoa(pos.Line)]
+}

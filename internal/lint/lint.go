@@ -62,12 +62,15 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg, f.Rule)
 }
 
-// Rule is one determinism-contract check. Check receives a loaded
-// package and returns raw findings; the engine applies suppression
-// directives afterwards.
+// Rule is one contract check. Check receives a loaded package and
+// returns raw findings; the engine applies suppression directives
+// afterwards. Scope names, for the generated documentation, where the
+// rule applies ("whole module", "sim-core packages", "hot set
+// (internal/)", ...).
 type Rule interface {
 	Name() string
 	Doc() string
+	Scope() string
 	Check(p *Package) []Finding
 }
 
@@ -98,7 +101,16 @@ const AllowDirective = "//afalint:allow"
 // narrows what the reach* rules can see; the self-check and CI always
 // run the whole module.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	return RunWithEscape(pkgs, rules, nil)
+}
+
+// RunWithEscape is Run with compiler escape-analysis output attached:
+// when esc is non-nil the hotalloc rule narrows its syntactic
+// allocation candidates to the sites the compiler confirmed escape to
+// the heap. The determinism rules ignore esc entirely.
+func RunWithEscape(pkgs []*Package, rules []Rule, esc *EscapeIndex) []Finding {
 	prog := NewProgram(pkgs)
+	prog.escape = esc
 	for _, p := range pkgs {
 		p.prog = prog
 	}
@@ -118,9 +130,13 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 	return out
 }
 
-// SortFindings orders findings by (file, line, col, rule) — the one
-// byte-stable order every output path (text, -json, -gha, baselines)
-// emits, regardless of package load or rule execution order.
+// SortFindings orders findings by (file, line, col, rule, msg) — the
+// one byte-stable order every output path (text, -json, -gha,
+// baselines) emits, regardless of package load or rule execution
+// order. Msg is the final tiebreak because one rule can report several
+// distinct findings on the same node (e.g. two hotalloc closures on
+// one line after gofmt joins them), and a total order must not depend
+// on traversal order.
 func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -133,7 +149,10 @@ func SortFindings(out []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 }
 

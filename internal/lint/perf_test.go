@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPerfFixtures runs the afaperf family over the perf fixture
+// corpus and asserts the exact set of finding positions against the
+// want: markers — positive cases, the constructor exemption, the
+// capture-free closure, the preallocated slice, the //afalint:allow
+// suppression, and every cold control at once.
+func TestPerfFixtures(t *testing.T) {
+	p := loadFixture(t, "perf", "repro/internal/sim")
+	var got []string
+	for _, f := range Run([]*Package{p}, PerfRules()) {
+		got = append(got, fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule))
+	}
+	sort.Strings(got)
+	want := expectations(p)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestPerfScopedToInternal loads the same corpus under a cmd/ path
+// whose tail still matches the anchor specs ("sim"): the hot set can
+// form, but the perf rules only police internal packages, so the run
+// must be silent.
+func TestPerfScopedToInternal(t *testing.T) {
+	p := loadFixture(t, "perf", "repro/cmd/sim")
+	if got := Run([]*Package{p}, PerfRules()); len(got) != 0 {
+		t.Errorf("perf rules fired outside internal/: %v", got)
+	}
+}
+
+// TestPerfNeedsHotRoots loads the corpus under an internal path whose
+// tail matches no anchor or scheduler spec: without roots there is no
+// hot set and no findings — the rules never degrade to whole-package
+// style checks.
+func TestPerfNeedsHotRoots(t *testing.T) {
+	p := loadFixture(t, "perf", "repro/internal/fixture")
+	if got := Run([]*Package{p}, PerfRules()); len(got) != 0 {
+		t.Errorf("perf rules fired without any hot root: %v", got)
+	}
+}
+
+// TestHotSetSharedCallee is the hot-set attribution regression: Hot
+// and Cold share the callee shared(); the callee's finding must carry
+// the shortest chain through the hot side and must not mention the
+// cold one.
+func TestHotSetSharedCallee(t *testing.T) {
+	p := loadFixture(t, "perf", "repro/internal/sim")
+	var msg string
+	for _, f := range Run([]*Package{p}, PerfRules()) {
+		if f.Rule == "hotdefer" && filepath.Base(f.Pos.Filename) == "hotset.go" {
+			msg = f.Msg
+		}
+	}
+	if msg == "" {
+		t.Fatal("no hotdefer finding in hotset.go; shared() was not analyzed as hot")
+	}
+	if !strings.Contains(msg, "fixture.Hot → fixture.shared") {
+		t.Errorf("finding does not carry the shortest hot chain: %q", msg)
+	}
+	if strings.Contains(msg, "Cold") {
+		t.Errorf("hot-set chain routed through the cold caller: %q", msg)
+	}
+}
+
+// TestParseEscapeOutput pins the -gcflags=-m parser: position-prefixed
+// heap diagnostics index by (basename, line); banners, non-escape
+// decisions, and malformed lines are ignored.
+func TestParseEscapeOutput(t *testing.T) {
+	idx := ParseEscapeOutput([]byte(strings.Join([]string{
+		"# repro/internal/sim",
+		"./internal/sim/engine.go:42:17: &Event{} escapes to heap",
+		"internal/sim/engine.go:50:2: moved to heap: ev",
+		"./internal/sim/engine.go:61:9: func literal escapes to heap",
+		"./internal/sim/engine.go:70:9: make([]int, 8) does not escape",
+		"can inline (*Engine).Now",
+		"escapes to heap", // marker with no position prefix
+		"",
+	}, "\n")))
+	if idx.Len() != 3 {
+		t.Fatalf("indexed %d sites, want 3", idx.Len())
+	}
+	for _, c := range []struct {
+		file string
+		line int
+		want bool
+	}{
+		{"/abs/checkout/internal/sim/engine.go", 42, true},
+		{"engine.go", 50, true},
+		{"engine.go", 61, true},
+		{"engine.go", 70, false},
+		{"other.go", 42, false},
+	} {
+		pos := fakePosition(c.file, c.line)
+		if got := idx.EscapesAt(pos); got != c.want {
+			t.Errorf("EscapesAt(%s:%d) = %v, want %v", c.file, c.line, got, c.want)
+		}
+	}
+}
+
+// TestEscapeFilterNarrowsHotalloc proves the cross-check contract:
+// with escape data attached, hotalloc keeps only compiler-confirmed
+// sites while every other perf rule is unaffected. The index is built
+// from the conservative run's own first hotalloc finding, so the test
+// does not hardcode fixture line numbers.
+func TestEscapeFilterNarrowsHotalloc(t *testing.T) {
+	p := loadFixture(t, "perf", "repro/internal/sim")
+	full := Run([]*Package{p}, PerfRules())
+	var confirmed *Finding
+	others := 0
+	hotallocs := 0
+	for i, f := range full {
+		if f.Rule == "hotalloc" {
+			hotallocs++
+			if confirmed == nil {
+				confirmed = &full[i]
+			}
+		} else {
+			others++
+		}
+	}
+	if hotallocs < 2 {
+		t.Fatalf("conservative run found %d hotalloc candidates; fixture should have several", hotallocs)
+	}
+	escTxt := fmt.Sprintf("./x/%s:%d:1: func literal escapes to heap\n",
+		filepath.Base(confirmed.Pos.Filename), confirmed.Pos.Line)
+	// Reload: Run attaches a fresh Program to the package each time, but
+	// keep the escape run independent for clarity.
+	narrowed := RunWithEscape([]*Package{p}, PerfRules(), ParseEscapeOutput([]byte(escTxt)))
+	var keptAlloc, keptOthers int
+	for _, f := range narrowed {
+		if f.Rule == "hotalloc" {
+			keptAlloc++
+			if f.Pos.Line != confirmed.Pos.Line || filepath.Base(f.Pos.Filename) != filepath.Base(confirmed.Pos.Filename) {
+				t.Errorf("unconfirmed hotalloc survived the escape filter: %v", f)
+			}
+		} else {
+			keptOthers++
+		}
+	}
+	if keptAlloc == 0 {
+		t.Error("the compiler-confirmed site was filtered out")
+	}
+	if keptAlloc >= hotallocs {
+		t.Errorf("escape data did not narrow hotalloc: %d of %d kept", keptAlloc, hotallocs)
+	}
+	if keptOthers != others {
+		t.Errorf("escape data changed non-hotalloc findings: %d, want %d", keptOthers, others)
+	}
+}
+
+// TestPerfRuleMetadata keeps the family addressable by the suppression
+// directive and the generated docs: unique names, non-empty docs and
+// scopes — for the perf rules and, since the -doc table now carries a
+// scope column, for the determinism rules too.
+func TestPerfRuleMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range append(AllRules(), PerfRules()...) {
+		if r.Name() == "" || r.Doc() == "" || r.Scope() == "" {
+			t.Errorf("rule %T has empty metadata", r)
+		}
+		if seen[r.Name()] {
+			t.Errorf("duplicate rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+	if len(seen) != 15 {
+		t.Errorf("expected 15 rules across both families, have %d", len(seen))
+	}
+	for _, r := range PerfRules() {
+		if !strings.HasPrefix(r.Name(), "hot") {
+			t.Errorf("perf rule %q should carry the hot* family prefix", r.Name())
+		}
+	}
+}

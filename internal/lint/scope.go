@@ -1,0 +1,19 @@
+package lint
+
+// Scope strings for the determinism rules, feeding the generated rule
+// table (`afalint -doc`, README.md, DESIGN.md §5). Kept together so
+// the documented scopes are reviewable side by side with the scope
+// predicates they describe (isInternal, isSimCore, exportedFuncs); the
+// perf family's scopes live with its rules in perf.go.
+
+func (wallclockRule) Scope() string    { return "whole module" }
+func (globalrandRule) Scope() string   { return "module except internal/rng" }
+func (maporderRule) Scope() string     { return "internal/, non-test files" }
+func (nogoroutineRule) Scope() string  { return "sim-core packages" }
+func (floatcompareRule) Scope() string { return "sim-core packages, non-test files" }
+
+func (reachwallclockRule) Scope() string { return "sim-core exported functions" }
+func (reachrandRule) Scope() string      { return "sim-core exported functions" }
+func (exhaustiveRule) Scope() string     { return "whole module, non-test files" }
+func (simtimeRule) Scope() string        { return "whole module, non-test files" }
+func (rngstreamRule) Scope() string      { return "whole module" }

@@ -1,0 +1,26 @@
+package fixture
+
+func AppendHot(e *Engine, vals []int) {
+	e.Schedule(1, func() { // want:hotalloc
+		var out []int
+		for _, v := range vals {
+			out = append(out, v) // want:hotappend
+		}
+		// Preallocated capacity: growth never reallocates.
+		pre := make([]int, 0, len(vals))
+		for _, v := range vals {
+			pre = append(pre, v)
+		}
+		sink(out, pre)
+	})
+}
+
+func appendCold(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+func sink(a, b []int) { _, _ = a, b }

@@ -1,0 +1,17 @@
+package fixture
+
+func DeferHot(e *Engine) {
+	e.After(1, deferee)
+}
+
+func deferee() {
+	defer done() // want:hotdefer
+	work()
+}
+
+func deferCold() {
+	defer done()
+}
+
+func done() {}
+func work() {}

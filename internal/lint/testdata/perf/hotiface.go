@@ -1,0 +1,25 @@
+package fixture
+
+type doer interface{ Do() int }
+
+type impl struct{ v int }
+
+func (i impl) Do() int { return i.v }
+
+func IfaceHot(e *Engine) {
+	e.Schedule(1, ifaceWork)
+}
+
+func ifaceWork() {
+	var d doer = impl{v: 1}
+	_ = d.Do()                 // want:hotiface
+	if c, ok := d.(impl); ok { // want:hotiface
+		_ = c
+	}
+	// Assigned from an interface-typed expression: the concrete type is
+	// not statically known here, so dispatch is legitimate.
+	var unknown doer = pick()
+	_ = unknown.Do()
+}
+
+func pick() doer { return impl{} }

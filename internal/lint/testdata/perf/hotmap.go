@@ -1,0 +1,14 @@
+package fixture
+
+func MapHot(e *Engine, m map[int]int) {
+	e.Schedule(1, func() { // want:hotalloc
+		for k := range m { // want:hotmap
+			_ = k
+		}
+		_ = m[3]     // want:hotmap
+		m[4] = 5     // want:hotmap
+		delete(m, 4) // want:hotmap
+	})
+}
+
+func mapCold(m map[int]int) int { return m[0] }

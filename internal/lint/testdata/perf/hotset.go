@@ -1,0 +1,20 @@
+// Hot-set attribution fixture: Hot and Cold share the callee shared().
+// The callee must be analyzed as hot — reached from the hot side — and
+// its finding must carry the shortest chain through Hot, never through
+// Cold. TestHotSetSharedCallee pins the chain text.
+package fixture
+
+func Hot(e *Engine) {
+	e.Schedule(1, func() { shared(e) }) // want:hotalloc
+}
+
+func Cold(e *Engine) {
+	shared(e)
+}
+
+func shared(e *Engine) {
+	defer cleanup() // want:hotdefer
+	_ = e
+}
+
+func cleanup() {}

@@ -225,6 +225,11 @@ type Controller struct {
 	offline       bool
 	sqStallUntil  sim.Time
 
+	// freeReqs recycles in-flight command carriers (see ioReq). A plain
+	// per-controller slice, not a sync.Pool: the simulation is
+	// single-threaded and reuse order must be deterministic.
+	freeReqs []*ioReq
+
 	stats Stats
 }
 
@@ -291,14 +296,14 @@ func (c *Controller) startHousekeeping() {
 		period := c.FW.SMARTPeriod / sim.Duration(steps)
 		// Desynchronize devices with a phase offset.
 		phase := sim.Duration(c.rnd.Int63n(int64(period)))
-		c.eng.After(phase, func() {
+		c.eng.Schedule(phase, func() {
 			c.smartTicker = sim.NewTicker(c.eng, period, func(sim.Time) {
 				c.blockMedia(c.FW.IncrementalSlice)
 			})
 		})
 	default:
 		phase := sim.Duration(c.rnd.Int63n(int64(c.FW.SMARTPeriod)))
-		c.eng.After(phase, func() {
+		c.eng.Schedule(phase, func() {
 			c.smartWindow()
 			c.smartTicker = sim.NewTicker(c.eng, c.FW.SMARTPeriod, func(sim.Time) {
 				c.smartWindow()
@@ -402,6 +407,53 @@ func (c *Controller) StallSubmissionQueues(d sim.Duration) {
 // slowFactor is the effective NAND read multiplier.
 func (c *Controller) slowFactor() float64 { return c.readSlow * c.stormSlow }
 
+// ioReq carries one in-flight command through the controller's staged
+// pipeline (fetch → media → upstream → CQE). Requests are recycled
+// through the controller's freelist and their stage callbacks are bound
+// once at creation, so steady-state command traffic schedules every stage
+// without allocating: the old continuation-passing closures were the
+// single largest entry in the allocation profile.
+type ioReq struct {
+	c    *Controller
+	cmd  Command
+	res  Result
+	done func(Result)
+
+	fetchedFn   func()
+	mediaFn     func()
+	nandDoneFn  func()
+	writeDoneFn func()
+	completeFn  func()
+}
+
+// getReq pops a recycled request (or builds one) and primes it for cmd.
+func (c *Controller) getReq(cmd Command, done func(Result)) *ioReq {
+	var r *ioReq
+	if n := len(c.freeReqs); n > 0 {
+		r = c.freeReqs[n-1]
+		c.freeReqs[n-1] = nil
+		c.freeReqs = c.freeReqs[:n-1]
+	} else {
+		r = &ioReq{c: c}            //afalint:allow hotalloc -- freelist miss only; amortized across carrier reuses
+		r.fetchedFn = r.fetched     //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		r.mediaFn = r.mediaStart    //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		r.nandDoneFn = r.nandDone   //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		r.writeDoneFn = r.writeDone //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		r.completeFn = r.complete   //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+	}
+	r.cmd = cmd
+	r.res = Result{Cmd: cmd, SubmittedAt: c.eng.Now()}
+	r.done = done
+	return r
+}
+
+// putReq returns a request to the freelist. The caller must have copied
+// out anything it still needs.
+func (c *Controller) putReq(r *ioReq) {
+	r.done = nil
+	c.freeReqs = append(c.freeReqs, r)
+}
+
 // Submit issues a command; done fires when the CQE has been posted and the
 // MSI-X interrupt would be raised. The host-side interrupt path is the
 // caller's job (the kernel package routes it through package irq).
@@ -413,10 +465,10 @@ func (c *Controller) Submit(cmd Command, done func(Result)) {
 		c.stats.DroppedCmds++
 		return
 	}
-	res := Result{Cmd: cmd, SubmittedAt: now}
 	if cmd.Bytes == 0 {
 		cmd.Bytes = 4096
 	}
+	r := c.getReq(cmd, done)
 
 	// Doorbell + SQE fetch across the fabric, then controller decode. A
 	// stalled firmware stops draining SQs: the fetch waits out the stall.
@@ -424,104 +476,116 @@ func (c *Controller) Submit(cmd Command, done func(Result)) {
 	if c.sqStallUntil > now {
 		fetch += c.sqStallUntil.Sub(now)
 	}
+	c.eng.Schedule(fetch, r.fetchedFn)
+}
 
-	c.eng.After(fetch, func() {
-		if c.offline {
-			// Dropped while the command sat in the SQ.
-			c.stats.DroppedCmds++
-			return
-		}
-		res.FetchedAt = c.eng.Now()
-		if c.transientRate > 0 && c.faultRnd.Bool(c.transientRate) {
-			// Internal controller error: the command dies after decode,
-			// before (or during) media access; the CQE carries the
-			// retryable generic error status.
-			c.stats.TransientErrors++
-			res.Status = StatusTransient
-			c.eng.After(c.cqePost+c.fabric.Upstream(c.ID, 16), func() {
-				c.complete(cmd, res, done)
-			})
-			return
-		}
-		switch cmd.Op {
-		case OpRead:
-			c.stats.Reads++
-			c.mediaRead(cmd, res, done)
-		case OpWrite:
-			c.stats.Writes++
-			c.bufferedWrite(cmd, res, done)
-		case OpFlush:
-			c.stats.Flushes++
-			c.eng.After(50*sim.Microsecond, func() { c.complete(cmd, res, done) })
-		default:
-			panic(fmt.Sprintf("nvme: unknown opcode %d", cmd.Op))
-		}
-	})
+// fetched runs when the controller finished fetching and decoding the SQE.
+func (r *ioReq) fetched() {
+	c := r.c
+	if c.offline {
+		// Dropped while the command sat in the SQ.
+		c.stats.DroppedCmds++
+		c.putReq(r)
+		return
+	}
+	r.res.FetchedAt = c.eng.Now()
+	if c.transientRate > 0 && c.faultRnd.Bool(c.transientRate) {
+		// Internal controller error: the command dies after decode,
+		// before (or during) media access; the CQE carries the
+		// retryable generic error status.
+		c.stats.TransientErrors++
+		r.res.Status = StatusTransient
+		c.eng.Schedule(c.cqePost+c.fabric.Upstream(c.ID, 16), r.completeFn)
+		return
+	}
+	switch r.cmd.Op {
+	case OpRead:
+		c.stats.Reads++
+		r.mediaRead()
+	case OpWrite:
+		c.stats.Writes++
+		r.bufferedWrite()
+	case OpFlush:
+		c.stats.Flushes++
+		c.eng.Schedule(50*sim.Microsecond, r.completeFn)
+	default:
+		panic(fmt.Sprintf("nvme: unknown opcode %d", r.cmd.Op))
+	}
 }
 
 // mediaRead waits out any housekeeping stall, reads NAND, and returns the
 // payload upstream.
-func (c *Controller) mediaRead(cmd Command, res Result, done func(Result)) {
+func (r *ioReq) mediaRead() {
+	c := r.c
 	now := c.eng.Now()
 	var stall sim.Duration
 	if c.blockedUntil > now {
 		stall = c.blockedUntil.Sub(now)
-		res.BlockedBySMART = true
+		r.res.BlockedBySMART = true
 		c.stats.SMARTBlockedIOs++
 	}
-	c.eng.After(stall, func() {
-		res.MediaStartAt = c.eng.Now()
-		// Large commands stripe across consecutive slices; dies proceed in
-		// parallel, so the slowest slice governs.
-		slices := (cmd.Bytes + 4095) / 4096
-		if slices < 1 {
-			slices = 1
+	c.eng.Schedule(stall, r.mediaFn)
+}
+
+// mediaStart performs the NAND array read once any stall has drained.
+func (r *ioReq) mediaStart() {
+	c := r.c
+	r.res.MediaStartAt = c.eng.Now()
+	// Large commands stripe across consecutive slices; dies proceed in
+	// parallel, so the slowest slice governs.
+	slices := (r.cmd.Bytes + 4095) / 4096
+	if slices < 1 {
+		slices = 1
+	}
+	var nandDelay sim.Duration
+	bad := false
+	for i := 0; i < slices; i++ {
+		lba := r.cmd.LBA + int64(i)
+		if c.badLBAs[lba] {
+			bad = true
 		}
-		var nandDelay sim.Duration
-		bad := false
-		for i := 0; i < slices; i++ {
-			lba := cmd.LBA + int64(i)
-			if c.badLBAs[lba] {
-				bad = true
-			}
-			if d := c.Flash.Read(lba); d > nandDelay {
-				nandDelay = d
-			}
+		if d := c.Flash.Read(lba); d > nandDelay {
+			nandDelay = d
 		}
-		if f := c.slowFactor(); f > 1 {
-			// Slow-bin / GC-storm degradation stretches the array time.
-			nandDelay = sim.Duration(float64(nandDelay) * f)
-		}
-		if bad {
-			// Uncorrectable slice: the read-retry ladder runs to exhaustion
-			// (a few extra array reads) and the CQE reports a media error.
-			nandDelay *= 3
-			res.Status = StatusMediaError
-			c.stats.MediaErrors++
-		}
-		c.eng.After(nandDelay, func() {
-			res.MediaDoneAt = c.eng.Now()
-			up := c.fabric.Upstream(c.ID, cmd.Bytes) + c.cqePost
-			c.eng.After(up, func() { c.complete(cmd, res, done) })
-		})
-	})
+	}
+	if f := c.slowFactor(); f > 1 {
+		// Slow-bin / GC-storm degradation stretches the array time.
+		nandDelay = sim.Duration(float64(nandDelay) * f)
+	}
+	if bad {
+		// Uncorrectable slice: the read-retry ladder runs to exhaustion
+		// (a few extra array reads) and the CQE reports a media error.
+		nandDelay *= 3
+		r.res.Status = StatusMediaError
+		c.stats.MediaErrors++
+	}
+	c.eng.Schedule(nandDelay, r.nandDoneFn)
+}
+
+// nandDone moves the payload upstream and posts the CQE.
+func (r *ioReq) nandDone() {
+	c := r.c
+	r.res.MediaDoneAt = c.eng.Now()
+	up := c.fabric.Upstream(c.ID, r.cmd.Bytes) + c.cqePost
+	c.eng.Schedule(up, r.completeFn)
 }
 
 // bufferedWrite admits the write into the cache at the spec's sustained
 // rate (Table I: 30 k random-write IOPS) and completes once buffered; the
 // NAND program happens in the background.
-func (c *Controller) bufferedWrite(cmd Command, res Result, done func(Result)) {
+func (r *ioReq) bufferedWrite() {
+	c := r.c
 	now := c.eng.Now()
 	var stall sim.Duration
 	if c.blockedUntil > now {
 		stall = c.blockedUntil.Sub(now)
-		res.BlockedBySMART = true
+		r.res.BlockedBySMART = true
 		c.stats.SMARTBlockedIOs++
 	}
 	// Rewriting an uncorrectable LBA heals it: the program lands on a
 	// fresh page and the mapping moves (how a RAID repair-write fixes a
 	// bad sector).
-	delete(c.badLBAs, cmd.LBA)
+	delete(c.badLBAs, r.cmd.LBA)
 	admit := now.Add(stall)
 	if c.writeNextFree > admit {
 		admit = c.writeNextFree
@@ -532,28 +596,40 @@ func (c *Controller) bufferedWrite(cmd Command, res Result, done func(Result)) {
 	}
 	c.writeNextFree = admit.Add(token)
 	cache := 8 * sim.Microsecond
-	c.eng.At(admit.Add(cache), func() {
-		// Background program: its nominal latency (and transient die-queue
-		// waits) are hidden by the cache, but foreground GC in a used,
-		// non-FOB device stalls the cache drain and pushes out subsequent
-		// admissions — the used-state latency spikes of the paper's
-		// future-work study.
-		_, gc := c.Flash.WriteWithGC(cmd.LBA)
-		if gc > 0 {
-			c.writeNextFree = c.writeNextFree.Add(gc)
-		}
-		c.complete(cmd, res, done)
-	})
+	c.eng.ScheduleAt(admit.Add(cache), r.writeDoneFn)
 }
 
-func (c *Controller) complete(cmd Command, res Result, done func(Result)) {
+// writeDone is the cache-admission instant: the background program (and
+// any foreground GC it triggers in a used, non-FOB device) lands here.
+func (r *ioReq) writeDone() {
+	c := r.c
+	// Background program: its nominal latency (and transient die-queue
+	// waits) are hidden by the cache, but foreground GC stalls the cache
+	// drain and pushes out subsequent admissions — the used-state latency
+	// spikes of the paper's future-work study.
+	_, gc := c.Flash.WriteWithGC(r.cmd.LBA)
+	if gc > 0 {
+		c.writeNextFree = c.writeNextFree.Add(gc)
+	}
+	r.complete()
+}
+
+// complete posts the CQE, releases the request, and hands the result to
+// the host.
+func (r *ioReq) complete() {
+	c := r.c
 	if c.offline {
 		// The device died with the command in flight: no CQE.
 		c.stats.DroppedCmds++
+		c.putReq(r)
 		return
 	}
-	res.CompletedAt = c.eng.Now()
-	res.Cmd = cmd
+	r.res.CompletedAt = c.eng.Now()
+	r.res.Cmd = r.cmd
+	res, done := r.res, r.done
+	// Release before the callback: done may submit the next command, and
+	// the freed request is then reused immediately with no allocation.
+	c.putReq(r)
 	done(res)
 }
 
@@ -562,7 +638,7 @@ func (c *Controller) complete(cmd Command, res Result, done func(Result)) {
 // every run). done fires when the device is usable again.
 func (c *Controller) Format(done func()) {
 	c.stats.Formats++
-	c.eng.After(200*sim.Millisecond, func() {
+	c.eng.Schedule(200*sim.Millisecond, func() {
 		c.Flash.Format()
 		c.badLBAs = nil // format remaps injected media errors away
 		if done != nil {
@@ -585,7 +661,7 @@ type IdentifyController struct {
 
 // Identify serves the Identify Controller admin command.
 func (c *Controller) Identify(done func(IdentifyController)) {
-	c.eng.After(c.cmdProcess+c.fabric.Upstream(c.ID, 4096), func() {
+	c.eng.Schedule(c.cmdProcess+c.fabric.Upstream(c.ID, 4096), func() {
 		done(IdentifyController{
 			ModelNumber:      "CB-AFA-M2-960",
 			SerialNumber:     fmt.Sprintf("S4FANX0M%06d", c.ID),
@@ -609,7 +685,7 @@ type SMARTLog struct {
 // not itself stall media (it returns the shadow copy), but it reflects how
 // often the firmware's internal collection ran.
 func (c *Controller) GetLogPage(done func(SMARTLog)) {
-	c.eng.After(c.cmdProcess+c.fabric.Upstream(c.ID, 512), func() {
+	c.eng.Schedule(c.cmdProcess+c.fabric.Upstream(c.ID, 512), func() {
 		done(SMARTLog{
 			PowerOnIOs:    c.stats.Reads + c.stats.Writes,
 			SMARTWindows:  c.stats.SMARTWindows,

@@ -314,7 +314,7 @@ func New(eng *sim.Engine, k *kernel.Kernel, spec ClientSpec) *Client {
 func (c *Client) Start(onDone func(*Result)) {
 	c.onDone = onDone
 	ramp := sim.Duration(c.rnd.Int63n(int64(200 * sim.Microsecond)))
-	c.eng.After(ramp, func() {
+	c.eng.Schedule(ramp, func() {
 		c.start = c.eng.Now()
 		c.deadline = c.start.Add(c.spec.Runtime)
 		c.task.Exec(c.issueCost(), c.issueWindow)
@@ -496,7 +496,7 @@ func (r *request) progress() {
 		if now := c.eng.Now(); fireAt < now {
 			fireAt = now
 		}
-		c.eng.At(fireAt, func() {
+		c.eng.ScheduleAt(fireAt, func() {
 			if c.done || r.done || r.usedParity || r.remaining == 0 {
 				return
 			}

@@ -112,7 +112,7 @@ func (rb *Rebuilder) Start(onDone func(*RebuildResult)) {
 	if now := rb.eng.Now(); at < now {
 		at = now
 	}
-	rb.eng.At(at, func() {
+	rb.eng.ScheduleAt(at, func() {
 		rb.res.StartedAt = rb.eng.Now()
 		rb.wakeTask(rb.readBurst(), rb.issueStripe)
 	})
@@ -202,7 +202,7 @@ func (rb *Rebuilder) advance() {
 	rb.stripe++
 	next := func() { rb.wakeTask(rb.readBurst(), rb.issueStripe) }
 	if rb.spec.Throttle > 0 {
-		rb.eng.After(rb.spec.Throttle, next)
+		rb.eng.Schedule(rb.spec.Throttle, next)
 		return
 	}
 	next()

@@ -493,7 +493,7 @@ func (r *writeReq) armHedge() {
 	if now := c.eng.Now(); fireAt < now {
 		fireAt = now
 	}
-	c.eng.At(fireAt, r.hedgeFire)
+	c.eng.ScheduleAt(fireAt, r.hedgeFire)
 }
 
 // rearm retries the hedge check one hedge-delay later: the request was in
@@ -502,7 +502,7 @@ func (r *writeReq) armHedge() {
 // can recur.
 func (r *writeReq) rearm() {
 	c := r.c
-	c.eng.After(c.hedgeDelay(), r.hedgeFire)
+	c.eng.Schedule(c.hedgeDelay(), r.hedgeFire)
 }
 
 // hedgeFire runs when a request has outlived the clean-write quantile.
@@ -573,7 +573,7 @@ func (r *writeReq) armAbandon() {
 	if !r.dataLanded {
 		return
 	}
-	c.eng.After(c.hedgeDelay(), func() {
+	c.eng.Schedule(c.hedgeDelay(), func() {
 		if c.done || r.done || r.parityLanded || r.failed {
 			return
 		}

@@ -18,7 +18,8 @@ type CPU struct {
 	curr         *Task
 	burstStart   sim.Time
 	burstPlanned sim.Duration
-	burstEv      *sim.Event
+	burstTimer   *sim.Timer // reused for every dispatch's completion
+	burstArmed   bool
 	overhead     sim.Duration // ctx + penalties + idle exit folded into current dispatch
 	htMult       int          // per-mille multiplier applied to task time this dispatch
 
@@ -31,10 +32,18 @@ type CPU struct {
 
 	stealing bool
 	stealQ   []stealItem
+	stealCur stealItem // item whose steal window is in flight
+
+	// burstDone/deepen/stealDone bound once at construction: dispatch and
+	// interrupt stealing run per I/O, and a fresh method-value closure per
+	// event would dominate the allocation profile.
+	burstDoneFn func()
+	deepenFn    func()
+	stealDoneFn func()
 
 	idleSince   sim.Time
 	cstate      int // -1 active/poll, else index into cstates
-	deepenEv    *sim.Event
+	deepenTimer *sim.Timer // reused for every C-state promotion
 	pendingExit sim.Duration // C-state exit latency to charge on next dispatch
 
 	busyTime   sim.Duration
@@ -232,7 +241,8 @@ func (c *CPU) dispatch(t *Task) {
 	c.overhead = overhead
 	c.burstStart = now
 	c.burstPlanned = wall
-	c.burstEv = c.s.eng.After(wall, func() { c.burstDone() })
+	c.burstTimer.Arm(wall, c.burstDoneFn)
+	c.burstArmed = true
 }
 
 // updateCurr charges the running task for time elapsed since the last
@@ -240,7 +250,7 @@ func (c *CPU) dispatch(t *Task) {
 // valid because the remaining work shrinks by exactly the elapsed time.
 func (c *CPU) updateCurr() {
 	t := c.curr
-	if t == nil || c.burstEv == nil {
+	if t == nil || !c.burstArmed {
 		return
 	}
 	now := c.s.eng.Now()
@@ -272,9 +282,9 @@ func (c *CPU) updateCurr() {
 // cancels its completion event. The task remains c.curr.
 func (c *CPU) chargePartial() {
 	c.updateCurr()
-	if c.burstEv != nil {
-		c.s.eng.Cancel(c.burstEv)
-		c.burstEv = nil
+	if c.burstArmed {
+		c.burstTimer.Cancel()
+		c.burstArmed = false
 	}
 }
 
@@ -295,7 +305,7 @@ func (c *CPU) burstDone() {
 	c.overhead = 0
 	c.charge(t, t.remaining)
 	t.remaining = 0
-	c.burstEv = nil
+	c.burstArmed = false
 	c.curr = nil
 	c.lastTask = t
 	t.lastOffCPU = c.s.eng.Now()
@@ -435,20 +445,35 @@ func (c *CPU) Steal(dur sim.Duration, fn func()) {
 
 func (c *CPU) runSteal(extra sim.Duration) {
 	item := c.stealQ[0]
-	c.stealQ = c.stealQ[1:]
+	// Dequeue by shifting down rather than re-slicing from the front:
+	// stealQ[1:] would walk the slice off its backing array and force a
+	// fresh allocation per handful of interrupts. The queue is at most a
+	// few items deep, so the copy is cheaper than the garbage.
+	n := copy(c.stealQ, c.stealQ[1:])
+	c.stealQ[n] = stealItem{}
+	c.stealQ = c.stealQ[:n]
 	total := extra + item.dur
 	c.stolenTime += total
-	c.s.eng.After(total, func() {
-		if item.fn != nil {
-			item.fn()
-		}
-		if len(c.stealQ) > 0 {
-			c.runSteal(0)
-			return
-		}
-		c.stealing = false
-		c.resumeAfterSteal()
-	})
+	// Only one steal window is in flight at a time (c.stealing gates
+	// re-entry), so the item can ride in a field instead of a per-call
+	// closure capture.
+	c.stealCur = item
+	c.s.eng.Schedule(total, c.stealDoneFn)
+}
+
+// stealDone fires when the in-flight steal window elapses.
+func (c *CPU) stealDone() {
+	item := c.stealCur
+	c.stealCur = stealItem{}
+	if item.fn != nil {
+		item.fn()
+	}
+	if len(c.stealQ) > 0 {
+		c.runSteal(0)
+		return
+	}
+	c.stealing = false
+	c.resumeAfterSteal()
 }
 
 // resumeAfterSteal restarts execution once interrupt work drains. A task
@@ -479,7 +504,8 @@ func (c *CPU) dispatchResume(t *Task) {
 	wall := c.overhead + t.remaining*sim.Duration(c.htMult)/1000
 	c.burstStart = now
 	c.burstPlanned = wall
-	c.burstEv = c.s.eng.After(wall, func() { c.burstDone() })
+	c.burstTimer.Arm(wall, c.burstDoneFn)
+	c.burstArmed = true
 }
 
 // bestQueued peeks the strongest queued task without dequeueing.
@@ -543,18 +569,21 @@ func (c *CPU) armDeepen() {
 	if wait < 0 {
 		wait = 0
 	}
-	c.deepenEv = c.s.eng.After(wait, func() {
-		c.cstate = next
-		c.armDeepen()
-	})
+	c.deepenTimer.Arm(wait, c.deepenFn)
+}
+
+// deepen promotes the idle CPU one C-state deeper. Between arming and
+// firing the C-state cannot change (exitIdle cancels the deepen timer),
+// so the
+// target state is recomputed here rather than captured per arm.
+func (c *CPU) deepen() {
+	c.cstate++
+	c.armDeepen()
 }
 
 // exitIdle leaves the idle state, returning the exit latency to charge.
 func (c *CPU) exitIdle() sim.Duration {
-	if c.deepenEv != nil {
-		c.s.eng.Cancel(c.deepenEv)
-		c.deepenEv = nil
-	}
+	c.deepenTimer.Cancel()
 	if c.cstate < 0 {
 		return 0 // polling or active
 	}

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -64,6 +63,11 @@ type Event struct {
 	index    int // heap index, -1 when not queued
 	fn       func()
 	canceled bool
+	// pooled marks events created by Schedule/ScheduleAt: their pointers
+	// are never handed to callers, so after firing they return to the
+	// engine's freelist. At/After events are pinned — callers may retain
+	// them for Cancel/Reschedule — and are never recycled.
+	pooled bool
 }
 
 // When reports the instant the event is scheduled to fire.
@@ -76,15 +80,24 @@ func (e *Event) Canceled() bool { return e.canceled }
 // a simulation is a single-threaded, deterministic computation.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []*Event // binary min-heap ordered by (when, seq)
 	seq     uint64
 	stepped uint64
 	stopped bool
+	// free recycles fired Schedule/ScheduleAt events. A plain slice, not a
+	// sync.Pool: the engine is single-threaded and the determinism contract
+	// forbids any scheduler-dependent reuse order.
+	free []*Event
 }
+
+// initialQueueCap sizes the heap and freelist so steady-state runs never
+// grow them: a 64-SSD headline config keeps well under a thousand events
+// in flight.
+const initialQueueCap = 1024
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: make([]*Event, 0, initialQueueCap)}
 }
 
 // Now reports the current simulated time.
@@ -97,16 +110,37 @@ func (e *Engine) Steps() uint64 { return e.stepped }
 // have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at the absolute instant t. Scheduling in the past
-// panics: that is always a model bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+// push enqueues an event, either recycled from the freelist (pooled) or
+// freshly allocated (pinned).
+func (e *Engine) push(t Time, fn func(), pooled bool) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	var ev *Event
+	if n := len(e.free); pooled && n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{} //afalint:allow hotalloc -- freelist miss or pinned event; pooled events amortize this across reuses
+	}
+	ev.when = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.canceled = false
+	ev.pooled = pooled
+	ev.index = len(e.queue)
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
 	return ev
+}
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// panics: that is always a model bug. The returned event may be retained
+// for Cancel or Reschedule; use ScheduleAt when it won't be.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.push(t, fn, false)
 }
 
 // After schedules fn to run d after the current instant. A negative d panics.
@@ -114,7 +148,24 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.push(e.now.Add(d), fn, false)
+}
+
+// Schedule is the fire-and-forget form of After: the event cannot be
+// canceled or rescheduled, which lets the engine recycle it after it fires
+// instead of allocating a fresh one per call. Per-I/O paths should prefer
+// it; the recycling is a plain per-engine freelist, so determinism is
+// unaffected.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.push(e.now.Add(d), fn, true)
+}
+
+// ScheduleAt is the fire-and-forget form of At.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	e.push(t, fn, true)
 }
 
 // Cancel prevents a pending event from firing. Canceling an event that has
@@ -127,7 +178,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	e.removeAt(ev.index)
 	ev.index = -1
 }
 
@@ -142,8 +193,7 @@ func (e *Engine) Reschedule(ev *Event, t Time) *Event {
 // Step fires the next pending event. It reports false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		ev.index = -1
+		ev := e.popMin()
 		if ev.canceled {
 			continue
 		}
@@ -152,7 +202,12 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.when
 		e.stepped++
-		ev.fn()
+		fn := ev.fn
+		if ev.pooled {
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -175,8 +230,7 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		next := e.queue[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
-			next.index = -1
+			e.popMin()
 			continue
 		}
 		if next.when > t {
@@ -193,36 +247,155 @@ func (e *Engine) RunUntil(t Time) {
 // callback completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// eventHeap orders events by (when, seq) so that simultaneous events fire in
-// scheduling order.
-type eventHeap []*Event
+// Timer is a reusable cancelable event for callers that keep at most one
+// deadline outstanding at a time (a CPU's burst completion, a ticker's
+// next fire, a coalescer's flush). Re-arming reuses the same Event
+// storage forever, so steady-state timer traffic allocates nothing.
+// The zero value is not usable; create through Engine.NewTimer.
+type Timer struct {
+	eng *Engine
+	ev  Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
+// NewTimer returns an unarmed timer bound to the engine.
+func (e *Engine) NewTimer() *Timer {
+	return &Timer{eng: e, ev: Event{index: -1}}
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// Armed reports whether the timer is queued to fire.
+func (t *Timer) Armed() bool { return t.ev.index >= 0 }
+
+// Arm schedules fn to fire d from now, canceling any previous deadline.
+func (t *Timer) Arm(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	return h[i].seq < h[j].seq
+	t.ArmAt(t.eng.now.Add(d), fn)
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// ArmAt schedules fn to fire at the absolute instant at, canceling any
+// previous deadline.
+func (t *Timer) ArmAt(at Time, fn func()) {
+	e := t.eng
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if t.ev.index >= 0 {
+		e.removeAt(t.ev.index)
+	}
+	t.ev.when = at
+	t.ev.seq = e.seq
+	t.ev.fn = fn
+	t.ev.canceled = false
+	t.ev.index = len(e.queue)
+	e.seq++
+	e.queue = append(e.queue, &t.ev)
+	e.siftUp(len(e.queue) - 1)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// Cancel unschedules the pending fire, if any.
+func (t *Timer) Cancel() {
+	if t.ev.index >= 0 {
+		t.eng.removeAt(t.ev.index)
+		t.ev.index = -1
+		t.ev.fn = nil
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// The queue is a hand-rolled binary min-heap rather than container/heap:
+// the stdlib version pays an interface-dispatch call per compare and swap,
+// which profiles as ~30% of a full run. Pop order is a pure function of
+// the (when, seq) total order — seq is unique — so the heap's internal
+// layout can never change simulation results.
+
+func lessEv(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// siftUp and siftDown move a "hole" through the heap instead of swapping
+// pairwise: one pointer write per level instead of three, which matters
+// because every write to the []*Event spine pays a GC write barrier.
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !lessEv(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// siftDown restores heap order below i; it reports whether i moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		l := q[left]
+		if right := left + 1; right < n && lessEv(q[right], l) {
+			least = right
+			l = q[right]
+		}
+		if !lessEv(l, ev) {
+			break
+		}
+		q[i] = l
+		l.index = i
+		i = least
+	}
+	q[i] = ev
+	ev.index = i
+	return i > start
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[0]
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
 	return ev
+}
+
+// removeAt removes the event at heap index i (Cancel's fast path, so a
+// canceled event costs O(log n) now instead of a dead tombstone later).
+func (e *Engine) removeAt(i int) {
+	n := len(e.queue) - 1
+	if i != n {
+		moved := e.queue[n]
+		e.queue[n] = nil
+		e.queue = e.queue[:n]
+		e.queue[i] = moved
+		moved.index = i
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+		return
+	}
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
 }

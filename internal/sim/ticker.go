@@ -8,7 +8,8 @@ type Ticker struct {
 	eng    *Engine
 	period Duration
 	fn     func(Time)
-	ev     *Event
+	fireFn func() // t.fire bound once, so re-arming never allocates
+	tm     *Timer
 	stop   bool
 }
 
@@ -18,13 +19,14 @@ func NewTicker(eng *Engine, period Duration, fn func(Time)) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	t := &Ticker{eng: eng, period: period, fn: fn}
+	t := &Ticker{eng: eng, period: period, fn: fn, tm: eng.NewTimer()}
+	t.fireFn = t.fire
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.eng.After(t.period, t.fire)
+	t.tm.Arm(t.period, t.fireFn)
 }
 
 func (t *Ticker) fire() {
@@ -51,13 +53,12 @@ func (t *Ticker) SetPeriod(p Duration) {
 	}
 	t.period = p
 	if !t.stop {
-		t.eng.Cancel(t.ev)
-		t.arm()
+		t.arm() // Arm cancels the pending fire itself
 	}
 }
 
 // Stop cancels the ticker. A stopped ticker never fires again.
 func (t *Ticker) Stop() {
 	t.stop = true
-	t.eng.Cancel(t.ev)
+	t.tm.Cancel()
 }

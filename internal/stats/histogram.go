@@ -150,6 +150,58 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// Quantiles fills out[i] with Quantile(qs[i]) for ascending qs in one scan
+// over the buckets. LadderOf calls it with five nines-quantiles, so the
+// per-SSD summary costs one bucket walk instead of five.
+func (h *Histogram) Quantiles(qs []float64, out []int64) {
+	if len(qs) != len(out) {
+		panic("stats: Quantiles length mismatch")
+	}
+	next := 0
+	// Edge quantiles don't need the scan.
+	for next < len(qs) && qs[next] <= 0 {
+		out[next] = h.Min()
+		next++
+	}
+	if h.total == 0 {
+		for i := next; i < len(qs); i++ {
+			out[i] = 0
+		}
+		return
+	}
+	var seen int64
+	for i, c := range h.counts {
+		if next == len(qs) || qs[next] >= 1 {
+			break
+		}
+		if c == 0 {
+			continue
+		}
+		seen += c
+		for next < len(qs) && qs[next] < 1 {
+			rank := int64(math.Ceil(qs[next] * float64(h.total)))
+			if rank < 1 {
+				rank = 1
+			}
+			if seen < rank {
+				break
+			}
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			out[next] = v
+			next++
+		}
+	}
+	for i := next; i < len(qs); i++ {
+		out[i] = h.max
+	}
+}
+
 // Merge adds all of o's observations into h.
 func (h *Histogram) Merge(o *Histogram) {
 	for i, c := range o.counts {

@@ -23,12 +23,11 @@ var LadderNines = [5]float64{0.99, 0.999, 0.9999, 0.99999, 0.999999}
 var LadderLabels = []string{"avg", "99%", "99.9%", "99.99%", "99.999%", "99.9999%", "max"}
 
 // LadderOf summarizes a histogram into the paper's percentile ladder.
+// The five rungs come from one Quantiles scan, not five Quantile walks.
 func LadderOf(h *Histogram) Ladder {
 	var l Ladder
 	l.Avg = h.Mean()
-	for i, q := range LadderNines {
-		l.P[i] = h.Quantile(q)
-	}
+	h.Quantiles(LadderNines[:], l.P[:])
 	l.Max = h.Max()
 	l.N = h.Count()
 	return l

@@ -7,6 +7,10 @@
 #                  clock, no global rand, no map-order dependence, no
 #                  concurrency or float equality in the sim core, no
 #                  sim-core import of the orchestration tier (§7);
+#   afalint -perf — the performance contract (§8): no new hot-path
+#                  allocation, interface dispatch, defer, growth
+#                  append, or map traffic beyond the recorded debts
+#                  in lint_perf.baseline;
 #   race+shuffle — the full suite once, under the race detector with
 #                  test order shuffled: the sim core is single-threaded
 #                  by contract and the runner tier merges in submission
@@ -27,5 +31,6 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/afalint ./...
+go run ./cmd/afalint -perf -baseline lint_perf.baseline ./...
 go test -race -shuffle=on ./...
 go test -race -count=1 -run 'TestParallelDeterminism|TestMap' ./internal/core/ ./internal/runner/
