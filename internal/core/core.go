@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/irq"
 	"repro/internal/kernel"
 	"repro/internal/nand"
@@ -59,6 +60,11 @@ type Config struct {
 	// (extension; see kernel.TimeoutPolicy). Zero means commands wait
 	// forever, as on an untuned host.
 	Timeout kernel.TimeoutPolicy
+	// Health attaches a per-drive health tracker (health.Tracker) to the
+	// kernel, fed by every managed completion. Consumers: adaptive hedge
+	// deadlines (raid.Tolerance.Adaptive) and the overload/budget coupling
+	// in TimeoutPolicy.
+	Health bool
 }
 
 // Default is the Section IV-A stock configuration.
@@ -108,6 +114,32 @@ func FaultTolerance() Config {
 	c := IRQAffinity()
 	c.Name = "fault-tolerant"
 	c.Timeout = kernel.DefaultTimeoutPolicy()
+	return c
+}
+
+// AdaptiveTolerance is FaultTolerance with the per-drive health tracker
+// armed: the kernel learns each SSD's latency profile (Jacobson/Karels
+// EWMA) and RAID clients with Tolerance.Adaptive hedge at the straggler
+// drive's own learned deadline instead of a stripe-wide static quantile.
+func AdaptiveTolerance() Config {
+	c := FaultTolerance()
+	c.Name = "adaptive"
+	c.Health = true
+	return c
+}
+
+// AdaptiveBudgets is AdaptiveTolerance plus the back-pressure half of the
+// control plane: per-drive retry-budget token buckets (a misbehaving
+// drive burns its budget and sheds to reconstruction instead of
+// retry-storming) and the overload watermark (hedging pauses and
+// timeouts widen while host inflight is saturated).
+func AdaptiveBudgets() Config {
+	c := AdaptiveTolerance()
+	c.Name = "adaptive-budgets"
+	c.Timeout.Budget = 8
+	c.Timeout.BudgetRefill = 2 * sim.Millisecond
+	c.Timeout.OverloadWatermark = 128
+	c.Timeout.OverloadTimeoutScale = 2
 	return c
 }
 
@@ -250,10 +282,15 @@ func NewSystem(opt Options) *System {
 		ic.PinAll()
 	}
 
-	k := kernel.New(eng, kernel.Config{
+	kcfg := kernel.Config{
 		Sched: sch, IRQ: ic, SSDs: ssds, Mode: cfg.Mode,
 		Coalesce: cfg.Coalesce, Timeout: cfg.Timeout, Seed: opt.Seed,
-	})
+	}
+	if cfg.Health {
+		hc := health.DefaultConfig()
+		kcfg.Health = &hc
+	}
+	k := kernel.New(eng, kcfg)
 	k.StartDaemons(opt.Daemons)
 
 	sys := &System{

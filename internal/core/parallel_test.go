@@ -20,8 +20,9 @@ func sweepOpts() ExpOptions {
 // public export path: the config fan-out (Fig 12), the geometry fan-out
 // (Fig 13, including the solo-run merge), the mixed baseline+client
 // fan-out (tail-at-scale), the three-arm fault ablation, the four-arm
-// write ablation (rebuild stream included), and a seed sweep. The
-// exported bytes are the reproducibility contract.
+// write ablation (rebuild stream included), the three-arm hedging
+// ablation (health trackers included), and a seed sweep. The exported
+// bytes are the reproducibility contract.
 func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -68,6 +69,21 @@ func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 		ladders := []stats.Ladder{wr.Ladder}
 		if err := WriteDistributionJSON(&buf, Distribution{
 			Config: wr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, hr := range RunHedgingAblation(o) {
+		fmt.Fprintf(&buf, "%s requests=%d failed=%d degraded=%d hedged=%d wins=%d suppressed=%d shed=%d overload=%d\n%s\n",
+			hr.Name, hr.Requests, hr.Failed, hr.DegradedReads, hr.HedgedReads,
+			hr.HedgeWins, hr.HedgesSuppressed, hr.IOStats.ShedToReconstruct,
+			hr.IOStats.OverloadEntered, hr.Trace)
+		for _, d := range hr.Drives {
+			fmt.Fprintf(&buf, "drive %+v\n", d)
+		}
+		ladders := []stats.Ladder{hr.Ladder}
+		if err := WriteDistributionJSON(&buf, Distribution{
+			Config: hr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
 		}); err != nil {
 			t.Fatal(err)
 		}

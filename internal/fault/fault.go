@@ -213,7 +213,13 @@ func (in *Injector) TraceString() string {
 
 // PeriodicStalls builds stall windows of length dur every period within
 // [0, horizon), starting at phase. A convenience for building plans.
+// A non-positive period is rejected (nil): it can never place more than
+// one window, and the naive loop would either never terminate (0) or
+// walk time backwards (negative).
 func PeriodicStalls(phase sim.Time, period, dur sim.Duration, horizon sim.Time) []Window {
+	if period <= 0 {
+		return nil
+	}
 	var out []Window
 	for t := phase; t < horizon; t = t.Add(period) {
 		out = append(out, Window{At: t, For: dur})

@@ -124,6 +124,18 @@ func TestPeriodicStalls(t *testing.T) {
 	}
 }
 
+func TestPeriodicStallsRejectsNonPositivePeriod(t *testing.T) {
+	horizon := sim.Time(0).Add(100 * sim.Millisecond)
+	// A zero period would loop forever; a negative one would walk time
+	// backwards. Both must yield no windows, not hang or panic.
+	if ws := fault.PeriodicStalls(0, 0, sim.Millisecond, horizon); ws != nil {
+		t.Fatalf("zero period produced %d windows", len(ws))
+	}
+	if ws := fault.PeriodicStalls(0, -sim.Millisecond, sim.Millisecond, horizon); ws != nil {
+		t.Fatalf("negative period produced %d windows", len(ws))
+	}
+}
+
 func TestMergeCanonicalizesOrder(t *testing.T) {
 	a := fault.Plan{Profiles: []fault.Profile{{SSD: 5}, {SSD: 1}}}
 	b := fault.Plan{Profiles: []fault.Profile{{SSD: 3}}}

@@ -10,6 +10,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/health"
 	"repro/internal/irq"
 	"repro/internal/nvme"
 	"repro/internal/rng"
@@ -72,6 +73,21 @@ type Kernel struct {
 	timeout TimeoutPolicy
 	iostats IOStats
 
+	// health is the per-drive health tracker feeding the adaptive
+	// tolerance plane (nil unless Config.Health was set). It observes
+	// every managed-command outcome.
+	health *health.Tracker
+
+	// retryBuckets are the per-drive retry token buckets (see
+	// TimeoutPolicy.Budget); nil when budgets are disabled.
+	retryBuckets []retryBucket
+
+	// inflight counts managed commands between submit and surfaced
+	// completion; overloaded latches when it crosses the policy's
+	// watermark (with hysteresis on the way down).
+	inflight   int
+	overloaded bool
+
 	// freeReqs recycles per-I/O completion carriers (see kioReq); a plain
 	// slice keeps reuse order deterministic.
 	freeReqs []*kioReq
@@ -93,7 +109,12 @@ type Config struct {
 	// (see TimeoutPolicy); the zero value preserves the wait-forever
 	// behaviour.
 	Timeout TimeoutPolicy
-	Seed    uint64
+	// Health, when non-nil, attaches a per-drive health tracker fed by
+	// every managed-command outcome (zero-valued fields take the
+	// health.DefaultConfig defaults). The RAID layer consumes it for
+	// per-drive adaptive hedge deadlines.
+	Health *health.Config
+	Seed   uint64
 }
 
 // New builds the kernel and installs the tick-work policy on the
@@ -118,9 +139,26 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		rnd:        rng.NewLabeled(cfg.Seed, "kernel"),
 		tickRnd:    rng.NewLabeled(cfg.Seed, "tickwork"),
 	}
+	if cfg.Health != nil {
+		k.health = health.NewTracker(*cfg.Health, len(cfg.SSDs))
+	}
+	if cfg.Timeout.Budget > 0 {
+		k.retryBuckets = make([]retryBucket, len(cfg.SSDs))
+		for i := range k.retryBuckets {
+			k.retryBuckets[i].tokens = int64(cfg.Timeout.Budget)
+		}
+	}
 	k.Sched.TickWork = k.tickWork
 	return k
 }
+
+// Health reports the per-drive health tracker (nil unless configured).
+func (k *Kernel) Health() *health.Tracker { return k.health }
+
+// Overloaded reports whether in-flight managed-command depth is past
+// the policy's watermark. The RAID layer sheds speculative hedges while
+// this holds — hedges are the first load to drop under pressure.
+func (k *Kernel) Overloaded() bool { return k.overloaded }
 
 // Costs reports the host path constants.
 func (k *Kernel) Costs() Costs { return k.costs }

@@ -28,6 +28,27 @@ type TimeoutPolicy struct {
 	// AbortCost is the admin Abort command round-trip charged after a
 	// timeout, before the retry clock starts.
 	AbortCost sim.Duration
+
+	// Budget > 0 arms per-drive retry budgets: each drive has a token
+	// bucket of this capacity, one token per retry. A drive whose bucket
+	// is empty gets no retry — the command surfaces immediately so the
+	// RAID layer can reconstruct, instead of a retry storm amplifying
+	// load against a dying device.
+	Budget int
+	// BudgetRefill is the per-token refill interval (lazy integer
+	// refill; no drift). 0 with Budget > 0 means the budget never
+	// refills.
+	BudgetRefill sim.Duration
+
+	// OverloadWatermark > 0 arms overload shedding: when in-flight
+	// managed commands exceed it, the kernel reports Overloaded (the
+	// RAID layer stops hedging) and widens per-attempt timeouts by
+	// OverloadTimeoutScale. Hysteresis: the condition clears only once
+	// depth falls below three quarters of the watermark.
+	OverloadWatermark int
+	// OverloadTimeoutScale multiplies Timeout while overloaded
+	// (values < 2 are treated as 2).
+	OverloadTimeoutScale int
 }
 
 // DefaultTimeoutPolicy returns the calibrated host tolerance knobs: a
@@ -46,18 +67,30 @@ func DefaultTimeoutPolicy() TimeoutPolicy {
 // Enabled reports whether the policy is armed.
 func (p TimeoutPolicy) Enabled() bool { return p.Timeout > 0 }
 
+// DefaultBackoffCap bounds the exponential retry delay when BackoffMax
+// is left unset: uncapped doubling of a sim.Duration overflows int64
+// after ~60 retries, turning a long retry chain into a negative delay
+// (which the engine rejects by panic).
+const DefaultBackoffCap = 8 * sim.Millisecond
+
 // backoffFor returns the bounded exponential delay before retry attempt
 // (attempt is 0-based: the delay after the first failure is Backoff).
+// BackoffMax <= 0 caps at DefaultBackoffCap rather than doubling
+// without bound.
 func (p TimeoutPolicy) backoffFor(attempt int) sim.Duration {
+	max := p.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffCap
+	}
 	d := p.Backoff
 	for i := 0; i < attempt; i++ {
 		d *= 2
-		if p.BackoffMax > 0 && d >= p.BackoffMax {
-			return p.BackoffMax
+		if d >= max {
+			return max
 		}
 	}
-	if p.BackoffMax > 0 && d > p.BackoffMax {
-		d = p.BackoffMax
+	if d > max {
+		d = max
 	}
 	return d
 }
@@ -78,6 +111,15 @@ type IOStats struct {
 	WriteTimeouts  int64
 	WriteRetries   int64
 	WriteExhausted int64
+
+	// Adaptive-tolerance counters (PR 7). RetryBudgetExhausted counts
+	// retries denied by an empty per-drive token bucket;
+	// ShedToReconstruct counts the commands those denials surfaced early
+	// (failing fast to the RAID layer's reconstruction path).
+	// OverloadEntered counts transitions past the in-flight watermark.
+	RetryBudgetExhausted int64
+	ShedToReconstruct    int64
+	OverloadEntered      int64
 }
 
 // IOStats returns a copy of the tolerance counters.
@@ -94,13 +136,72 @@ func (k *Kernel) Timeout() TimeoutPolicy { return k.timeout }
 // abort racing a late completion) is counted and dropped.
 func (k *Kernel) submitManaged(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
 	first := k.eng.Now()
+	k.noteInflight(1)
 	k.submitAttempt(submitCPU, ssd, cmd, 0, first, done)
+}
+
+// attemptTimeout is the effective per-attempt deadline: the policy's
+// Timeout, widened while the kernel is overloaded so timeout/retry
+// traffic does not feed the very queue depth that caused it.
+func (k *Kernel) attemptTimeout() sim.Duration {
+	to := k.timeout.Timeout
+	if k.overloaded {
+		s := k.timeout.OverloadTimeoutScale
+		if s < 2 {
+			s = 2
+		}
+		to *= sim.Duration(s)
+	}
+	return to
+}
+
+// noteInflight tracks managed-command depth and the overload latch:
+// entered above the watermark, cleared below three quarters of it.
+func (k *Kernel) noteInflight(delta int) {
+	k.inflight += delta
+	w := k.timeout.OverloadWatermark
+	if w <= 0 {
+		return
+	}
+	if !k.overloaded && k.inflight > w {
+		k.overloaded = true
+		k.iostats.OverloadEntered++
+	} else if k.overloaded && k.inflight <= w*3/4 {
+		k.overloaded = false
+	}
+}
+
+// takeRetryToken consumes one retry token from the drive's bucket,
+// lazily refilling first (integer arithmetic: the refill instant
+// advances by whole tokens, so no drift accumulates).
+func (k *Kernel) takeRetryToken(ssd int) bool {
+	b := &k.retryBuckets[ssd]
+	if r := k.timeout.BudgetRefill; r > 0 {
+		if n := int64(k.eng.Now().Sub(b.last) / r); n > 0 {
+			b.tokens += n
+			if max := int64(k.timeout.Budget); b.tokens > max {
+				b.tokens = max
+			}
+			b.last = b.last.Add(sim.Duration(n) * r)
+		}
+	}
+	if b.tokens <= 0 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryBucket is one drive's retry-budget state.
+type retryBucket struct {
+	tokens int64
+	last   sim.Time // refill clock, advanced by whole tokens only
 }
 
 func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, done func(Completion)) {
 	settled := false
 	var timer *sim.Event
-	timer = k.eng.After(k.timeout.Timeout, func() {
+	timer = k.eng.After(k.attemptTimeout(), func() {
 		if settled {
 			return
 		}
@@ -109,6 +210,9 @@ func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int
 		k.iostats.Aborts++
 		if cmd.Op == nvme.OpWrite {
 			k.iostats.WriteTimeouts++
+		}
+		if k.health != nil {
+			k.health.ObserveTimeout(ssd)
 		}
 		// Abort admin round-trip, then retry or surface the failure. The
 		// aborted attempt's CQE, should it still arrive, is dropped above.
@@ -131,6 +235,12 @@ func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int
 		}
 		settled = true
 		k.eng.Cancel(timer)
+		if k.health != nil {
+			// Per-attempt service latency: Result.SubmittedAt is still
+			// this attempt's submit instant (overwritten with first only
+			// on delivery below), so backoff gaps don't pollute the EWMA.
+			k.health.Observe(ssd, k.eng.Now().Sub(comp.Result.SubmittedAt), comp.Status)
+		}
 		if comp.Status.Retryable() {
 			k.iostats.TransientErrors++
 			k.retryOrFail(submitCPU, ssd, cmd, attempt, first, comp, done)
@@ -143,12 +253,15 @@ func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int
 		// submission instant, not the final attempt's.
 		comp.Result.SubmittedAt = first
 		comp.Retries = attempt
+		k.noteInflight(-1)
 		done(comp)
 	})
 }
 
 // retryOrFail re-issues the command after backoff, or surfaces failed
-// when attempts are exhausted.
+// when attempts are exhausted — or immediately when the drive's retry
+// budget is, so a dying drive sheds its retry storm to the RAID layer's
+// reconstruction path instead of amplifying load.
 func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, failed Completion, done func(Completion)) {
 	if attempt >= k.timeout.MaxRetries {
 		k.iostats.Exhausted++
@@ -158,12 +271,26 @@ func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, 
 		failed.Result.SubmittedAt = first
 		failed.Retries = attempt
 		failed.DeliveredAt = k.eng.Now()
+		k.noteInflight(-1)
+		done(failed)
+		return
+	}
+	if k.retryBuckets != nil && !k.takeRetryToken(ssd) {
+		k.iostats.RetryBudgetExhausted++
+		k.iostats.ShedToReconstruct++
+		failed.Result.SubmittedAt = first
+		failed.Retries = attempt
+		failed.DeliveredAt = k.eng.Now()
+		k.noteInflight(-1)
 		done(failed)
 		return
 	}
 	k.iostats.Retries++
 	if cmd.Op == nvme.OpWrite {
 		k.iostats.WriteRetries++
+	}
+	if k.health != nil {
+		k.health.ObserveRetry(ssd)
 	}
 	k.eng.Schedule(k.timeout.backoffFor(attempt), func() {
 		k.submitAttempt(submitCPU, ssd, cmd, attempt+1, first, done)

@@ -3,6 +3,7 @@ package kernel
 import (
 	"testing"
 
+	"repro/internal/health"
 	"repro/internal/nvme"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -22,10 +23,27 @@ func TestBackoffBounds(t *testing.T) {
 			t.Fatalf("backoffFor(%d) = %v, want %v", attempt, got, w)
 		}
 	}
-	// Without a cap the doubling is unbounded.
+	// BackoffMax unset: doubling proceeds until the default cap.
 	p.BackoffMax = 0
 	if got := p.backoffFor(4); got != 1600*sim.Microsecond {
-		t.Fatalf("uncapped backoffFor(4) = %v", got)
+		t.Fatalf("backoffFor(4) with default cap = %v", got)
+	}
+}
+
+func TestBackoffDefaultCapBoundsLongChains(t *testing.T) {
+	// Regression: with BackoffMax unset, the old unbounded doubling
+	// overflowed int64 after ~60 retries, handing the engine a negative
+	// delay. A deep attempt index must now saturate at DefaultBackoffCap.
+	p := TimeoutPolicy{Backoff: 100 * sim.Microsecond}
+	for _, attempt := range []int{10, 63, 64, 200} {
+		if got := p.backoffFor(attempt); got != DefaultBackoffCap {
+			t.Fatalf("backoffFor(%d) = %v, want DefaultBackoffCap %v", attempt, got, DefaultBackoffCap)
+		}
+	}
+	// An explicit cap still wins.
+	p.BackoffMax = 300 * sim.Microsecond
+	if got := p.backoffFor(200); got != 300*sim.Microsecond {
+		t.Fatalf("backoffFor(200) with explicit cap = %v", got)
 	}
 }
 
@@ -42,6 +60,14 @@ func newTimeoutRig(t *testing.T, policy TimeoutPolicy) *rig {
 	t.Helper()
 	r := newRig(t, 2, 1, sched.BootOptions{}, CompleteInterrupt)
 	r.k.timeout = policy
+	// Mirror New's budget arming (the rig swaps the policy in after
+	// construction).
+	if policy.Budget > 0 {
+		r.k.retryBuckets = make([]retryBucket, len(r.k.SSDs))
+		for i := range r.k.retryBuckets {
+			r.k.retryBuckets[i].tokens = int64(policy.Budget)
+		}
+	}
 	return r
 }
 
@@ -246,4 +272,256 @@ func TestWriteCountersSliceTimeoutStats(t *testing.T) {
 	if st2.Timeouts == 0 {
 		t.Fatal("read to an offline device never timed out")
 	}
+}
+
+func TestRetryBudgetShedsEarly(t *testing.T) {
+	// One retry token, no refill: the second timeout must shed to the
+	// caller instead of grinding through the rest of the retry ladder.
+	pol := TimeoutPolicy{
+		Timeout: 100 * sim.Microsecond, MaxRetries: 5,
+		Backoff: 50 * sim.Microsecond, AbortCost: 10 * sim.Microsecond,
+		Budget: 1,
+	}
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].SetOffline(true)
+
+	var comp Completion
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(c Completion) {
+		comp = c
+		got = true
+	})
+	r.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+
+	if !got {
+		t.Fatal("shed command never surfaced")
+	}
+	if comp.Status != nvme.StatusAborted || !comp.TimedOut {
+		t.Fatalf("status=%v timedout=%v, want aborted timeout", comp.Status, comp.TimedOut)
+	}
+	if comp.Retries != 1 {
+		t.Fatalf("retries = %d, want 1 (the single budgeted retry)", comp.Retries)
+	}
+	st := r.k.IOStats()
+	if st.RetryBudgetExhausted != 1 || st.ShedToReconstruct != 1 {
+		t.Fatalf("budget counters: exhausted=%d shed=%d, want 1 each",
+			st.RetryBudgetExhausted, st.ShedToReconstruct)
+	}
+	// Shedding is not MaxRetries exhaustion; the counters stay distinct.
+	if st.Exhausted != 0 {
+		t.Fatalf("exhausted = %d for a budget shed", st.Exhausted)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("granted retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestRetryBudgetRefills(t *testing.T) {
+	// Refill faster than the retry cadence: the budget never blocks and
+	// the command walks the full ladder to normal exhaustion.
+	pol := TimeoutPolicy{
+		Timeout: 100 * sim.Microsecond, MaxRetries: 3,
+		Backoff: 50 * sim.Microsecond, AbortCost: 10 * sim.Microsecond,
+		Budget: 1, BudgetRefill: 120 * sim.Microsecond,
+	}
+	r := newTimeoutRig(t, pol)
+	r.k.SSDs[0].SetOffline(true)
+
+	got := false
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 1}, func(Completion) { got = true })
+	r.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+
+	if !got {
+		t.Fatal("command never surfaced")
+	}
+	st := r.k.IOStats()
+	if st.RetryBudgetExhausted != 0 {
+		t.Fatalf("refilling budget denied %d retries", st.RetryBudgetExhausted)
+	}
+	if st.Exhausted != 1 || st.Retries != int64(pol.MaxRetries) {
+		t.Fatalf("exhausted=%d retries=%d, want normal ladder exhaustion", st.Exhausted, st.Retries)
+	}
+}
+
+func TestOverloadWatermarkHysteresis(t *testing.T) {
+	r := newTimeoutRig(t, TimeoutPolicy{
+		Timeout: 100 * sim.Microsecond, OverloadWatermark: 4,
+	})
+	k := r.k
+	base := k.attemptTimeout()
+	if base != 100*sim.Microsecond {
+		t.Fatalf("healthy attempt timeout = %v", base)
+	}
+	k.noteInflight(4)
+	if k.Overloaded() {
+		t.Fatal("overloaded at the watermark; latch must require crossing it")
+	}
+	k.noteInflight(1)
+	if !k.Overloaded() {
+		t.Fatal("not overloaded past the watermark")
+	}
+	// Unset scale defaults to 2.
+	if got := k.attemptTimeout(); got != 2*base {
+		t.Fatalf("overloaded attempt timeout = %v, want %v", got, 2*base)
+	}
+	// Hysteresis: dropping to the watermark is not enough...
+	k.noteInflight(-1)
+	if !k.Overloaded() {
+		t.Fatal("overload cleared at the watermark; hysteresis requires 3/4")
+	}
+	// ...it must fall to three quarters of it.
+	k.noteInflight(-1)
+	if k.Overloaded() {
+		t.Fatalf("overload not cleared at 3/4 watermark (inflight=%d)", k.inflight)
+	}
+	k.noteInflight(2)
+	if !k.Overloaded() {
+		t.Fatal("re-entry past the watermark not latched")
+	}
+	if got := k.IOStats().OverloadEntered; got != 2 {
+		t.Fatalf("OverloadEntered = %d, want 2", got)
+	}
+}
+
+func TestHealthTrackerFedByManagedPath(t *testing.T) {
+	pol := TimeoutPolicy{
+		Timeout: 4 * sim.Millisecond, MaxRetries: 3,
+		Backoff: 50 * sim.Microsecond, AbortCost: 10 * sim.Microsecond,
+	}
+	r := newTimeoutRig(t, pol)
+	r.k.health = health.NewTracker(health.Config{}, len(r.k.SSDs))
+
+	done := 0
+	for i := 0; i < 20; i++ {
+		r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: int64(i)}, func(Completion) { done++ })
+		r.eng.RunUntil(r.eng.Now().Add(sim.Millisecond))
+	}
+	if done != 20 {
+		t.Fatalf("completed %d/20", done)
+	}
+	s := r.k.Health().Snapshot(0)
+	if s.Samples != 20 {
+		t.Fatalf("tracker saw %d samples, want 20", s.Samples)
+	}
+	// Per-attempt latencies, not end-to-end-with-backoff: a healthy read
+	// is ~30µs device-side plus the idle-wake host path (~100µs at this
+	// cadence), far below the 4ms deadline.
+	if s.SRTT < 10*sim.Microsecond || s.SRTT > 300*sim.Microsecond {
+		t.Fatalf("srtt = %v, want the healthy ≈30-150µs baseline", s.SRTT)
+	}
+
+	// A drop-out feeds timeouts and granted retries to the tracker too.
+	r.k.SSDs[0].SetOffline(true)
+	r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpRead, LBA: 99}, func(Completion) {})
+	r.eng.RunUntil(r.eng.Now().Add(50 * sim.Millisecond))
+	s = r.k.Health().Snapshot(0)
+	if s.Timeouts != int64(pol.MaxRetries+1) {
+		t.Fatalf("tracker timeouts = %d, want %d", s.Timeouts, pol.MaxRetries+1)
+	}
+	if s.Retries != int64(pol.MaxRetries) {
+		t.Fatalf("tracker retries = %d, want %d", s.Retries, pol.MaxRetries)
+	}
+	if s.Suspicion == 0 {
+		t.Fatal("drop-out raised no suspicion")
+	}
+}
+
+// TestWriteRetryDropOutRecovery is the write-path retry-exhaustion
+// matrix for a drive that drops out and comes back: accounting must stay
+// consistent whether recovery lands mid-retry or after exhaustion, and a
+// drop-out (no CQE ever) must not be confused with a stall (late CQEs).
+func TestWriteRetryDropOutRecovery(t *testing.T) {
+	pol := TimeoutPolicy{
+		Timeout: 100 * sim.Microsecond, MaxRetries: 5,
+		Backoff: 50 * sim.Microsecond, AbortCost: 10 * sim.Microsecond,
+	}
+
+	t.Run("recovers mid-retry", func(t *testing.T) {
+		r := newTimeoutRig(t, pol)
+		r.k.SSDs[0].SetOffline(true)
+		// Back online while the retry ladder is still climbing.
+		r.eng.After(200*sim.Microsecond, func() { r.k.SSDs[0].SetOffline(false) })
+
+		var comp Completion
+		got := false
+		r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpWrite, LBA: 1}, func(c Completion) {
+			comp = c
+			got = true
+		})
+		r.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+
+		if !got || comp.Status != nvme.StatusSuccess {
+			t.Fatalf("got=%v status=%v, want success after recovery", got, comp.Status)
+		}
+		if comp.Retries == 0 || comp.Retries > pol.MaxRetries {
+			t.Fatalf("retries = %d, want mid-ladder recovery", comp.Retries)
+		}
+		st := r.k.IOStats()
+		if st.WriteExhausted != 0 || st.Exhausted != 0 {
+			t.Fatalf("recovered write counted exhausted: %+v", st)
+		}
+		// Offline drops are silent — no CQE ever arrives for the dropped
+		// attempts, so nothing may be counted late.
+		if st.LateCompletions != 0 {
+			t.Fatalf("late completions = %d for silently dropped attempts", st.LateCompletions)
+		}
+		if st.WriteTimeouts != int64(comp.Retries) || st.WriteRetries != int64(comp.Retries) {
+			t.Fatalf("write timeouts=%d retries=%d, want %d each",
+				st.WriteTimeouts, st.WriteRetries, comp.Retries)
+		}
+	})
+
+	t.Run("recovers after exhaustion", func(t *testing.T) {
+		short := pol
+		short.MaxRetries = 1
+		r := newTimeoutRig(t, short)
+		r.k.SSDs[0].SetOffline(true)
+		r.eng.After(5*sim.Millisecond, func() { r.k.SSDs[0].SetOffline(false) })
+
+		var comp Completion
+		got := false
+		r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpWrite, LBA: 1}, func(c Completion) {
+			comp = c
+			got = true
+		})
+		r.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+
+		if !got || comp.Status != nvme.StatusAborted || !comp.TimedOut {
+			t.Fatalf("got=%v status=%v, want surfaced exhaustion", got, comp.Status)
+		}
+		st := r.k.IOStats()
+		if st.WriteExhausted != 1 || st.LateCompletions != 0 {
+			t.Fatalf("exhausted=%d late=%d, want 1 and 0", st.WriteExhausted, st.LateCompletions)
+		}
+	})
+
+	t.Run("stall yields late CQEs not drops", func(t *testing.T) {
+		r := newTimeoutRig(t, pol)
+		r.k.SSDs[0].StallSubmissionQueues(500 * sim.Microsecond)
+
+		var comp Completion
+		got := false
+		r.k.SubmitIO(1, 0, nvme.Command{Op: nvme.OpWrite, LBA: 1}, func(c Completion) {
+			comp = c
+			got = true
+		})
+		r.eng.RunUntil(sim.Time(50 * sim.Millisecond))
+
+		if !got || comp.Status != nvme.StatusSuccess {
+			t.Fatalf("got=%v status=%v, want success after stall", got, comp.Status)
+		}
+		st := r.k.IOStats()
+		if st.Timeouts == 0 {
+			t.Fatal("stall produced no timeouts")
+		}
+		// Every stalled attempt's CQE eventually drains: each timed-out
+		// attempt must be accounted late, none lost.
+		if st.LateCompletions != st.Timeouts {
+			t.Fatalf("late=%d timeouts=%d, want every stalled CQE accounted",
+				st.LateCompletions, st.Timeouts)
+		}
+		if st.WriteExhausted != 0 {
+			t.Fatalf("recoverable stall exhausted the write: %+v", st)
+		}
+	})
 }

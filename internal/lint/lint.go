@@ -200,6 +200,7 @@ var simCorePackages = map[string]bool{
 	"kernel": true,
 	"irq":    true,
 	"fault":  true,
+	"health": true,
 }
 
 // isSimCore reports whether path is one of the sim-core packages

@@ -22,6 +22,7 @@ package raid
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/kernel"
 	"repro/internal/nvme"
@@ -52,6 +53,14 @@ type Tolerance struct {
 	HedgeMin sim.Duration
 	// MinSamples gates the adaptive quantile.
 	MinSamples int64
+	// Adaptive switches hedge deadlines from the client-wide latency
+	// quantile to the straggling drive's own health-tracker deadline
+	// (kernel.Config.Health): a slow-bin member is hedged at *its*
+	// baseline instead of dragging the whole client's hedge delay up,
+	// and a suspect member is hedged sooner. Falls back to the static
+	// delay per drive until that drive's tracker is warm, and entirely
+	// when the kernel has no tracker.
+	Adaptive bool
 }
 
 // DefaultTolerance returns the calibrated tolerance knobs: hedge at the
@@ -142,6 +151,10 @@ type Result struct {
 	// HedgeWins counts those that beat the straggler.
 	HedgedReads int64
 	HedgeWins   int64
+	// HedgesSuppressed counts hedges (read and write) withheld because
+	// the kernel reported overload: speculative duplicates are the first
+	// load shed past the in-flight watermark.
+	HedgesSuppressed int64
 	// LateSubIOs counts sub-I/O completions that arrived after their
 	// request had already been completed (hedge won) or abandoned.
 	LateSubIOs int64
@@ -211,9 +224,15 @@ type Client struct {
 	// suspect members are routed around (writes only): a timeout/abort
 	// marks the member, any successful completion from it clears it, and
 	// every probeInterval-th routed-around request probes it optimistically.
-	// Lookup/insert/delete only — never ranged (determinism contract).
-	suspect  map[int]bool
-	probeGap map[int]int
+	// Dense slices indexed by SSD id — the write hot path consults them
+	// on every request.
+	suspect  []bool
+	probeGap []int
+
+	// stragglers accumulates per-SSD last-to-answer counts densely on
+	// the completion path; Result.StragglerSSD is materialized from it
+	// once at drain.
+	stragglers []int64
 
 	maxLBA int64
 }
@@ -230,12 +249,16 @@ type completedReq interface {
 
 // request tracks one striped request's fan-out and its recovery state.
 type request struct {
-	c         *Client
-	issuedAt  sim.Time
-	lba       int64
-	remaining int  // data sub-I/Os outstanding
-	lastSSD   int  // last member to answer successfully
-	failed    bool // unrecoverable: ≥2 members (or parity) failed
+	c        *Client
+	issuedAt sim.Time
+	lba      int64
+	// pendingMask has one bit per stripe position still outstanding
+	// (first 64 members only): when one sub-I/O remains, it names the
+	// straggler, so the adaptive hedge can use that drive's own deadline.
+	pendingMask uint64
+	remaining   int  // data sub-I/Os outstanding
+	lastSSD     int  // last member to answer successfully
+	failed      bool // unrecoverable: ≥2 members (or parity) failed
 	// usedParity: the one reconstruction slot is taken (degraded or hedge).
 	usedParity    bool
 	parityPending bool
@@ -290,13 +313,13 @@ func New(eng *sim.Engine, k *kernel.Kernel, spec ClientSpec) *Client {
 			panic(fmt.Sprintf("raid: Tol.ParitySSD %d disagrees with Parity %d",
 				t.ParitySSD, spec.Parity))
 		}
-		c.suspect = map[int]bool{}
-		c.probeGap = map[int]int{}
+		c.suspect = make([]bool, len(k.SSDs))
+		c.probeGap = make([]int, len(k.SSDs))
 	}
 	c.res.Spec = spec
 	c.res.Hist = stats.NewHistogram()
 	c.hedgeHist = stats.NewHistogram()
-	c.res.StragglerSSD = map[int]int64{}
+	c.stragglers = make([]int64, len(k.SSDs))
 	if spec.LatLog {
 		c.res.Log = stats.NewLatLog(spec.LatLogLimit)
 	}
@@ -374,7 +397,10 @@ func (c *Client) issueRead() {
 	lba := c.rnd.Int63n(c.maxLBA)
 	req := &request{c: c, issuedAt: c.eng.Now(), lba: lba, lastSSD: -1,
 		remaining: len(c.spec.Stripe)}
-	for _, ssd := range c.spec.Stripe {
+	for i, ssd := range c.spec.Stripe {
+		if i < 64 {
+			req.pendingMask |= 1 << uint(i)
+		}
 		ssd := ssd
 		cmd := nvme.Command{Op: nvme.OpRead, LBA: lba, Bytes: 4096}
 		c.k.SubmitIO(c.task.CPU(), ssd, cmd, func(comp kernel.Completion) {
@@ -396,6 +422,20 @@ func (c *Client) hedgeDelay() sim.Duration {
 	return t.HedgeMin
 }
 
+// hedgeDelayFor is hedgeDelay specialized to a known straggler: with
+// Tolerance.Adaptive set and the drive's health tracker warm, the
+// drive's own published deadline replaces the client-wide quantile.
+func (c *Client) hedgeDelayFor(ssd int) sim.Duration {
+	if c.spec.Tol.Adaptive {
+		if h := c.k.Health(); h != nil {
+			if d := h.HedgeDeadline(ssd); d > 0 {
+				return d
+			}
+		}
+	}
+	return c.hedgeDelay()
+}
+
 // subDone runs in softirq context for each data sub-I/O.
 func (r *request) subDone(ssd int, comp kernel.Completion) {
 	c := r.c
@@ -413,6 +453,12 @@ func (r *request) subDone(ssd int, comp kernel.Completion) {
 		c.task.AddPenalty(comp.WakePenalty)
 	}
 	r.remaining--
+	for i, s := range c.spec.Stripe {
+		if s == ssd && i < 64 {
+			r.pendingMask &^= 1 << uint(i)
+			break
+		}
+	}
 	if comp.Status != nvme.StatusSuccess {
 		c.res.SubIOErrors++
 		if c.spec.Tol != nil && !r.usedParity {
@@ -492,12 +538,23 @@ func (r *request) progress() {
 	if r.remaining == 1 && !r.parityPending && !r.usedParity && !r.failed &&
 		!r.hedgeArmed && c.spec.Tol != nil && c.spec.Tol.HedgeQuantile > 0 {
 		r.hedgeArmed = true
-		fireAt := r.issuedAt.Add(c.hedgeDelay())
+		delay := c.hedgeDelay()
+		if len(c.spec.Stripe) <= 64 && r.pendingMask != 0 {
+			// Exactly one bit set: the straggler. Hedge at its deadline.
+			delay = c.hedgeDelayFor(c.spec.Stripe[bits.TrailingZeros64(r.pendingMask)])
+		}
+		fireAt := r.issuedAt.Add(delay)
 		if now := c.eng.Now(); fireAt < now {
 			fireAt = now
 		}
 		c.eng.ScheduleAt(fireAt, func() {
 			if c.done || r.done || r.usedParity || r.remaining == 0 {
+				return
+			}
+			if c.k.Overloaded() {
+				// Past the in-flight watermark the hedge is load we can
+				// refuse: the straggler still answers eventually.
+				c.res.HedgesSuppressed++
 				return
 			}
 			r.useParity(true)
@@ -512,7 +569,7 @@ func (r *request) finish() {
 	c := r.c
 	r.done = true
 	if !r.failed && r.lastSSD >= 0 {
-		c.res.StragglerSSD[r.lastSSD]++
+		c.stragglers[r.lastSSD]++
 	}
 	c.enqueueDone(r)
 }
@@ -563,6 +620,12 @@ func (c *Client) finishIfDrained() {
 	c.done = true
 	c.res.Runtime = c.eng.Now().Sub(c.start)
 	c.res.Ladder = stats.LadderOf(c.res.Hist)
+	c.res.StragglerSSD = map[int]int64{} //afalint:allow hotmap -- materialized once at drain
+	for ssd, n := range c.stragglers {
+		if n > 0 {
+			c.res.StragglerSSD[ssd] = n //afalint:allow hotmap -- materialized once at drain
+		}
+	}
 	if c.onDone != nil {
 		c.onDone(&c.res)
 	}

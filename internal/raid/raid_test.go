@@ -3,6 +3,7 @@ package raid
 import (
 	"testing"
 
+	"repro/internal/health"
 	"repro/internal/irq"
 	"repro/internal/kernel"
 	"repro/internal/nand"
@@ -214,6 +215,98 @@ func TestHedgedReadCapsStraggler(t *testing.T) {
 	}
 	if res.Requests <= base.Requests {
 		t.Fatalf("hedging should raise throughput: %d vs %d", res.Requests, base.Requests)
+	}
+}
+
+// newAdaptiveRig is newRig plus the adaptive control plane: a timeout
+// policy (so commands are managed and observed) and a health tracker.
+func newAdaptiveRig(t *testing.T, ncpu, nssd int, pol kernel.TimeoutPolicy) (*sim.Engine, *kernel.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sch := sched.New(eng, sched.Config{NumCPUs: ncpu, Seed: 9,
+		Boot: sched.BootOptions{IdlePoll: true}})
+	fab := pcie.NewFabric(eng, pcie.Options{NumSSDs: nssd})
+	fw := nvme.DefaultFirmware()
+	fw.Kind = nvme.FirmwareNoSMART
+	var ssds []*nvme.Controller
+	for i := 0; i < nssd; i++ {
+		ssds = append(ssds, nvme.New(eng, nvme.Config{
+			ID: i, Fabric: fab, FW: fw, Seed: 9, Geom: nand.TinyGeometry()}))
+	}
+	ic := irq.New(eng, sch, irq.Config{NumSSDs: nssd, NumCPUs: ncpu, Seed: 9})
+	hc := health.DefaultConfig()
+	return eng, kernel.New(eng, kernel.Config{Sched: sch, IRQ: ic, SSDs: ssds,
+		Timeout: pol, Health: &hc, Seed: 9})
+}
+
+func TestAdaptiveHedgeLearnsSlowMemberBaseline(t *testing.T) {
+	// Member 2 is steadily 20× slower — a slow bin, not a fault. A static
+	// hedge floored below its baseline fires on nearly every request; the
+	// adaptive hedge learns that member's own deadline and fires only on
+	// its genuine tail.
+	spec := func(adaptive bool) ClientSpec {
+		return ClientSpec{
+			Stripe: []int{0, 1, 2, 3}, CPU: 1, Runtime: 300 * sim.Millisecond,
+			Tol: &Tolerance{ParitySSD: 4, HedgeQuantile: 0.99,
+				HedgeMin: 100 * sim.Microsecond, MinSamples: 50, Adaptive: adaptive},
+			Seed: 1,
+		}
+	}
+	pol := kernel.DefaultTimeoutPolicy()
+
+	engS, kS := newAdaptiveRig(t, 2, 5, pol)
+	kS.SSDs[2].SetReadSlowdown(20)
+	static := Run(engS, kS, []ClientSpec{spec(false)})[0]
+
+	engA, kA := newAdaptiveRig(t, 2, 5, pol)
+	kA.SSDs[2].SetReadSlowdown(20)
+	adaptive := Run(engA, kA, []ClientSpec{spec(true)})[0]
+
+	if static.HedgedReads < 1000 {
+		t.Fatalf("static arm hedged only %d reads; floor should fire near-always", static.HedgedReads)
+	}
+	if adaptive.HedgedReads*2 >= static.HedgedReads {
+		t.Fatalf("adaptive hedges = %d, static = %d; learning the slow baseline should cut hedges",
+			adaptive.HedgedReads, static.HedgedReads)
+	}
+	// Adaptive trades the constant parity race for fewer hedges, so it
+	// paces closer to the slow member's real baseline — it must still
+	// make steady progress, not stall.
+	if adaptive.Requests < 500 {
+		t.Fatalf("adaptive served only %d requests", adaptive.Requests)
+	}
+	if adaptive.FailedRequests != 0 {
+		t.Fatalf("adaptive failed %d requests", adaptive.FailedRequests)
+	}
+	// The tracker really did learn the slow member's distinct baseline.
+	h := kA.Health()
+	if d2, d0 := h.HedgeDeadline(2), h.HedgeDeadline(0); d2 == 0 || d0 == 0 || d2 <= d0 {
+		t.Fatalf("deadlines: slow member %v, healthy member %v; want warm and ordered", d2, d0)
+	}
+}
+
+func TestOverloadSuppressesHedges(t *testing.T) {
+	pol := kernel.DefaultTimeoutPolicy()
+	// A watermark below the client's steady fan-out: the kernel is
+	// overloaded whenever requests are in flight, so every armed hedge
+	// must be withheld (and counted) rather than fired.
+	pol.OverloadWatermark = 1
+	eng, k := newAdaptiveRig(t, 2, 5, pol)
+	k.SSDs[2].SetReadSlowdown(20)
+	res := Run(eng, k, []ClientSpec{{
+		Stripe: []int{0, 1, 2, 3}, CPU: 1, QD: 4, Runtime: 200 * sim.Millisecond,
+		Tol: &Tolerance{ParitySSD: 4, HedgeQuantile: 0.99,
+			HedgeMin: 100 * sim.Microsecond, MinSamples: 50},
+		Seed: 1,
+	}})[0]
+	if res.HedgesSuppressed == 0 {
+		t.Fatal("no hedges suppressed under permanent overload")
+	}
+	if res.HedgedReads != 0 {
+		t.Fatalf("hedged %d reads while overloaded; hedges are the first load to shed", res.HedgedReads)
+	}
+	if res.Requests < 1000 {
+		t.Fatalf("requests = %d; suppression must not stall the workload", res.Requests)
 	}
 }
 

@@ -94,7 +94,7 @@ func deadCompletion(comp kernel.Completion) bool {
 }
 
 func (c *Client) markSuspect(ssd int) {
-	if c.spec.Tol == nil || c.suspect[ssd] {
+	if c.spec.Tol == nil || c.suspect == nil || c.suspect[ssd] {
 		return
 	}
 	c.suspect[ssd] = true
@@ -105,8 +105,8 @@ func (c *Client) clearSuspect(ssd int) {
 	if c.suspect == nil || !c.suspect[ssd] {
 		return
 	}
-	delete(c.suspect, ssd)
-	delete(c.probeGap, ssd)
+	c.suspect[ssd] = false
+	c.probeGap[ssd] = 0
 }
 
 // shouldProbe counts requests routed around the suspect member and
@@ -485,11 +485,26 @@ func (r *writeReq) finish() {
 	r.c.enqueueDone(r)
 }
 
+// writeHedgeDelay is the RMW request's hedge deadline. The request
+// touches two members (target data + parity); with adaptive tolerance
+// each contributes its own tracker deadline and the hedge waits out the
+// slower of the two — hedging an RMW at the faster member's deadline
+// would duplicate work the other member is still on pace to finish.
+func (r *writeReq) writeHedgeDelay() sim.Duration {
+	c := r.c
+	d := c.hedgeDelayFor(r.target)
+	if p := c.hedgeDelayFor(c.spec.Parity); p > d {
+		d = p
+	}
+	return d
+}
+
 // armHedge schedules the write-path hedge check at the clean-write
-// latency quantile (same calibration as read hedging).
+// latency quantile (same calibration as read hedging), or at the
+// members' own deadlines under adaptive tolerance.
 func (r *writeReq) armHedge() {
 	c := r.c
-	fireAt := r.issuedAt.Add(c.hedgeDelay())
+	fireAt := r.issuedAt.Add(r.writeHedgeDelay())
 	if now := c.eng.Now(); fireAt < now {
 		fireAt = now
 	}
@@ -502,7 +517,7 @@ func (r *writeReq) armHedge() {
 // can recur.
 func (r *writeReq) rearm() {
 	c := r.c
-	c.eng.Schedule(c.hedgeDelay(), r.hedgeFire)
+	c.eng.Schedule(r.writeHedgeDelay(), r.hedgeFire)
 }
 
 // hedgeFire runs when a request has outlived the clean-write quantile.
@@ -521,6 +536,14 @@ func (r *writeReq) rearm() {
 func (r *writeReq) hedgeFire() {
 	c := r.c
 	if c.done || r.done || r.hedged || r.failed {
+		return
+	}
+	if c.k.Overloaded() {
+		// Shed the speculative action, not the request: re-check after
+		// another hedge delay. The kernel timeout ladder still drives the
+		// request to an outcome if overload persists.
+		c.res.HedgesSuppressed++
+		r.rearm()
 		return
 	}
 	if !r.writing {

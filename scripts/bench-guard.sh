@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench-guard.sh — engine-throughput regression guard.
+#
+# BENCH_engine.json is committed per-merge, so HEAD always records the
+# events-per-second the simulator's inner loop achieved on the last
+# accepted commit. This script reruns BenchmarkEngineThroughput once,
+# compares the fresh events_per_sec against the committed figure, and
+# fails if the engine lost more than BENCH_GUARD_THRESHOLD percent
+# (default 20) — catching hot-path regressions that slip past
+# `afalint -perf`'s static rules (an O(n) scan that grew, an event
+# storm) before they land.
+#
+# The committed BENCH_engine.json is restored afterwards: regenerating
+# the baseline is a deliberate act (commit the file the benchmark
+# writes), not a side effect of running the guard. Absolute numbers are
+# machine-dependent; the guard is only meaningful when the baseline was
+# recorded on hardware comparable to where it runs (CI baselines come
+# from CI merges).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${BENCH_GUARD_THRESHOLD:-20}"
+
+extract_eps() {
+  sed -n 's/.*"events_per_sec": *\([0-9.eE+]*\).*/\1/p' | head -1
+}
+
+baseline="$(git show HEAD:BENCH_engine.json 2>/dev/null | extract_eps || true)"
+if [ -z "${baseline}" ]; then
+  echo "bench-guard: no committed BENCH_engine.json at HEAD; nothing to compare against" >&2
+  exit 0
+fi
+
+saved="$(mktemp)"
+trap 'rm -f "${saved}"' EXIT
+had_file=0
+if [ -f BENCH_engine.json ]; then
+  cp BENCH_engine.json "${saved}"
+  had_file=1
+fi
+
+go test -run '^$' -bench BenchmarkEngineThroughput -benchtime=1x . >/dev/null
+
+fresh="$(extract_eps < BENCH_engine.json)"
+if [ "${had_file}" = 1 ]; then
+  cp "${saved}" BENCH_engine.json
+else
+  rm -f BENCH_engine.json
+fi
+if [ -z "${fresh}" ]; then
+  echo "bench-guard: benchmark produced no events_per_sec" >&2
+  exit 1
+fi
+
+awk -v base="${baseline}" -v fresh="${fresh}" -v thr="${threshold}" 'BEGIN {
+  drop = (base - fresh) / base * 100
+  printf "bench-guard: events/sec %.0f -> %.0f (%+.1f%%), threshold -%s%%\n",
+         base, fresh, -drop, thr
+  if (drop > thr) {
+    printf "bench-guard: engine throughput regressed more than %s%%\n", thr
+    exit 1
+  }
+}'
