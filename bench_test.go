@@ -12,14 +12,19 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/kernel"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -461,14 +466,168 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	if row.Events == 0 || row.IOs == 0 {
 		b.Fatalf("engine throughput run fired %d events for %d IOs; the workload did not run", row.Events, row.IOs)
 	}
+	updateEngineBench(b, row)
+}
+
+// updateEngineBench merges rows into BENCH_engine.json keyed by
+// experiment name, preserving rows other benchmarks wrote. The
+// headline-64ssd row is pinned first so scripts/bench-guard.sh's
+// first-match extraction keeps reading the engine figure no matter
+// which benchmark ran last.
+func updateEngineBench(b *testing.B, rows ...core.EngineBenchRow) {
+	b.Helper()
+	var merged []core.EngineBenchRow
+	if data, err := os.ReadFile("BENCH_engine.json"); err == nil {
+		// A stale or hand-edited file that fails to parse is replaced
+		// wholesale rather than failing the benchmark.
+		_ = json.Unmarshal(data, &merged)
+	}
+	for _, row := range rows {
+		replaced := false
+		for i := range merged {
+			if merged[i].Experiment == row.Experiment {
+				merged[i] = row
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged = append(merged, row)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		return (merged[i].Experiment == "headline-64ssd") && (merged[j].Experiment != "headline-64ssd")
+	})
 	f, err := os.Create("BENCH_engine.json")
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer f.Close()
-	if err := core.WriteEngineBenchJSON(f, []core.EngineBenchRow{row}); err != nil {
+	if err := core.WriteEngineBenchJSON(f, merged); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// addMuxTenants populates a multiplexer with the benchmark's tenant
+// mix — 20% latency-sensitive Poisson readers, 50% bursty MMPP readers,
+// 30% diurnal background writers — splitting the aggregate offered rate
+// evenly so only the population size varies between sub-benchmarks.
+func addMuxTenants(mux *fio.Multiplexer, tenants, numSSDs int, offered float64) {
+	for t := 0; t < tenants; t++ {
+		spec := fio.TenantSpec{
+			SSD:     t % numSSDs,
+			Arrival: fio.ArrivalSpec{Rate: offered / float64(tenants)},
+		}
+		switch m := t % 10; {
+		case m < 2:
+			spec.Class, spec.RW = kernel.ClassLatency, fio.RandRead
+			spec.Arrival.Kind = fio.ArrivalPoisson
+		case m < 7:
+			spec.Class, spec.RW = kernel.ClassThroughput, fio.RandRead
+			spec.Arrival.Kind = fio.ArrivalMMPP
+		default:
+			spec.Class, spec.RW = kernel.ClassBackground, fio.RandWrite
+			spec.Arrival.Kind = fio.ArrivalDiurnal
+		}
+		mux.AddTenant(spec)
+	}
+}
+
+// benchTenantMux drives the open-loop tenant multiplexer on the 64-SSD
+// array at a fixed aggregate offered rate, varying only the tenant
+// population — so the arrivals/sec figure isolates the per-tenant cost
+// of the timer wheel, not the array's service rate. Boot and AddTenant
+// run with the timer stopped; the timed region is exactly the mux run,
+// and the malloc delta across it (allocs/arrival) proves the
+// steady-state per-arrival path allocates nothing.
+func benchTenantMux(b *testing.B, tenants int, name string) {
+	o := benchOpts()
+	o.Runtime = 100 * sim.Millisecond
+	const offered = 2e6 // aggregate I/Os per second, below the array's knee
+	b.ReportAllocs()
+	var row core.EngineBenchRow
+	var allocsPerArrival float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := core.NewSystem(core.Options{NumSSDs: o.NumSSDs, Seed: o.Seed, Config: core.IRQAffinity()})
+		sys.Eng.RunUntil(sys.Eng.Now().Add(50 * sim.Millisecond))
+		// Warm each device's lazily-built FTL write structures here so
+		// the first background write inside the timed region doesn't
+		// charge the one-time per-device init to allocs/arrival.
+		for _, d := range sys.SSDs {
+			d.Flash.Precondition(0)
+		}
+		// Warm-up: run the same population once, untimed, so the kernel
+		// and NVMe request pools, the engine's event heap, and the FTL
+		// write state sit at their steady-state high-water marks before
+		// the measured run — the timed region then sees per-arrival work
+		// plus only the amortized block-open cost of the media model.
+		warm := fio.NewMultiplexer(sys.Eng, sys.Kernel, fio.MuxConfig{
+			Name:    name + "-warm",
+			Runtime: o.Runtime / 2,
+			Seed:    o.Seed + 1,
+			CPUs:    sys.Host.WorkloadCPUs(),
+		})
+		addMuxTenants(warm, tenants, o.NumSSDs, offered)
+		warm.Run()
+		mux := fio.NewMultiplexer(sys.Eng, sys.Kernel, fio.MuxConfig{
+			Name:    name,
+			Runtime: o.Runtime,
+			Seed:    o.Seed,
+			CPUs:    sys.Host.WorkloadCPUs(),
+		})
+		addMuxTenants(mux, tenants, o.NumSSDs, offered)
+		steps0 := sys.Eng.Steps()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		b.StartTimer()
+		t0 := time.Now() //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		res := mux.Run()
+		wall := time.Since(t0) //afalint:allow wallclock -- measuring host wall-clock, not simulated time
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		if res.Offered == 0 || res.Completed == 0 {
+			b.Fatalf("mux run offered %d completed %d; the workload did not run", res.Offered, res.Completed)
+		}
+		steps := int64(sys.Eng.Steps() - steps0)
+		allocsPerArrival = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Offered)
+		row = core.EngineBenchRow{
+			Experiment:     name,
+			NumSSDs:        o.NumSSDs,
+			Events:         steps,
+			IOs:            res.Completed,
+			WallMs:         float64(wall) / 1e6,
+			EventsPerSec:   float64(steps) / wall.Seconds(),
+			Arrivals:       res.Offered,
+			ArrivalsPerSec: float64(res.Offered) / wall.Seconds(),
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(row.ArrivalsPerSec/1e6, "Marrivals/sec")
+	b.ReportMetric(float64(row.Arrivals), "arrivals")
+	b.ReportMetric(allocsPerArrival, "allocs/arrival")
+	// The per-arrival path itself is allocation-free; the residual here
+	// is the mux's own request-pool growth plus one []int64 per NAND
+	// block the background writers newly open (amortized 1/pages-per-
+	// block). Anything above the bound means a real per-arrival
+	// allocation crept in.
+	if allocsPerArrival > 0.05 {
+		b.Fatalf("per-arrival steady state allocates: %.4f allocs/arrival", allocsPerArrival)
+	}
+	updateEngineBench(b, row)
+}
+
+// BenchmarkTenantMux is the acceptance benchmark for the open-loop
+// tier: 10k and then 100k tenant streams multiplexed onto one 64-SSD
+// array in a single run. The arrivals/sec rows land in
+// BENCH_engine.json next to the engine-throughput headline and are
+// guarded per commit by scripts/bench-guard.sh; allocs/arrival is
+// asserted ~0 (the wheel's pooled carriers and pinned timers keep the
+// per-arrival path allocation-free at any population).
+func BenchmarkTenantMux(b *testing.B) {
+	b.Run("10k", func(b *testing.B) { benchTenantMux(b, 10_000, "tenant-mux-10k") })
+	b.Run("100k", func(b *testing.B) { benchTenantMux(b, 100_000, "tenant-mux-100k") })
 }
 
 // BenchmarkSeedSweep exercises the seed-sweep path behind afareport's

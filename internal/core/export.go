@@ -148,6 +148,12 @@ type EngineBenchRow struct {
 	WallMs float64 `json:"wall_ms"`
 	// EventsPerSec is the headline metric: Events / (WallMs/1000).
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Arrivals / ArrivalsPerSec are set by the open-loop multiplexer
+	// benchmarks (BenchmarkTenantMux): offered arrivals processed and
+	// the wall-clock rate they were processed at. Zero (omitted) for
+	// closed-loop rows.
+	Arrivals       int64   `json:"arrivals,omitempty"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec,omitempty"`
 }
 
 // WriteEngineBenchJSON emits the engine-throughput summary as indented

@@ -21,8 +21,9 @@ func sweepOpts() ExpOptions {
 // (Fig 13, including the solo-run merge), the mixed baseline+client
 // fan-out (tail-at-scale), the three-arm fault ablation, the four-arm
 // write ablation (rebuild stream included), the three-arm hedging
-// ablation (health trackers included), and a seed sweep. The exported
-// bytes are the reproducibility contract.
+// ablation (health trackers included), the open-loop load ablation
+// (capacity probe plus the rung × arm grid), and a seed sweep. The
+// exported bytes are the reproducibility contract.
 func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -84,6 +85,18 @@ func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 		ladders := []stats.Ladder{hr.Ladder}
 		if err := WriteDistributionJSON(&buf, Distribution{
 			Config: hr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la := RunLoadAblation(o)
+	fmt.Fprintf(&buf, "load capacity=%.3f\n", la.Capacity)
+	for _, lr := range la.Runs {
+		fmt.Fprintf(&buf, "%s frac=%.2f offered=%d admitted=%d completed=%d shed=%d throttled=%d errors=%d\n",
+			lr.Name, lr.Frac, lr.Offered, lr.Admitted, lr.Completed, lr.Shed, lr.Throttled, lr.Errors)
+		ladders := append([]stats.Ladder{lr.Total}, lr.Class[0].Ladder, lr.Class[1].Ladder, lr.Class[2].Ladder)
+		if err := WriteDistributionJSON(&buf, Distribution{
+			Config: lr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
 		}); err != nil {
 			t.Fatal(err)
 		}

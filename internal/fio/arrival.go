@@ -1,0 +1,151 @@
+package fio
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ArrivalKind selects the arrival process of an open-loop tenant stream.
+type ArrivalKind int
+
+// The three processes cover the load shapes the load ablation needs:
+// memoryless steady state, bursty on/off, and slow rate modulation.
+const (
+	// ArrivalPoisson draws i.i.d. exponential inter-arrival gaps at
+	// Rate/s — the memoryless baseline.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalMMPP is a two-state Markov-modulated Poisson process: the
+	// stream alternates between a calm state and a burst state (rate
+	// multiplied by Burst), with exponentially distributed dwell times.
+	// The calm-state rate is scaled down so the long-run mean stays
+	// Rate.
+	ArrivalMMPP
+	// ArrivalDiurnal modulates a Poisson process sinusoidally:
+	// rate(t) = Rate·(1 + Swing·sin(2πt/Period)) — a compressed
+	// day/night load curve.
+	ArrivalDiurnal
+)
+
+// ArrivalSpec parameterizes an arrival process. Rate is the long-run
+// mean arrival rate in I/Os per second for every kind; the remaining
+// fields apply only to the kinds that name them.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// Rate is the long-run mean arrival rate (I/Os per second).
+	Rate float64
+
+	// Burst (MMPP) multiplies the rate while bursting. Default 8.
+	Burst float64
+	// MeanCalm / MeanBurst (MMPP) are the mean dwell times in each
+	// state. Defaults 10 ms / 2 ms.
+	MeanCalm  sim.Duration
+	MeanBurst sim.Duration
+
+	// Period (diurnal) is the modulation period; default 100 ms.
+	// Swing (diurnal) is the modulation depth in [0, 1); default 0.8.
+	Period sim.Duration
+	Swing  float64
+
+	// calmRate is the precomputed MMPP calm-state rate that keeps the
+	// long-run mean at Rate. Filled by normalize.
+	calmRate float64
+}
+
+// normalize fills defaults and precomputes derived rates. It returns an
+// error for specs that cannot generate a valid process.
+func (a ArrivalSpec) normalize() (ArrivalSpec, error) {
+	if a.Rate <= 0 {
+		return a, fmt.Errorf("arrival rate must be positive, got %g", a.Rate)
+	}
+	switch a.Kind {
+	case ArrivalPoisson:
+	case ArrivalMMPP:
+		if a.Burst == 0 { //afalint:allow floatcompare -- zero-value "unset" sentinel, not a computed float
+			a.Burst = 8
+		}
+		if a.MeanCalm == 0 {
+			a.MeanCalm = 10 * sim.Millisecond
+		}
+		if a.MeanBurst == 0 {
+			a.MeanBurst = 2 * sim.Millisecond
+		}
+		if a.Burst < 1 || a.MeanCalm <= 0 || a.MeanBurst <= 0 {
+			return a, fmt.Errorf("invalid MMPP params: burst=%g calm=%s burst-dwell=%s", a.Burst, a.MeanCalm, a.MeanBurst)
+		}
+		// Long-run mean = calmRate·(calm + Burst·burst)/(calm+burst);
+		// solve for calmRate so the mean equals Rate.
+		calm, burst := a.MeanCalm.Seconds(), a.MeanBurst.Seconds()
+		a.calmRate = a.Rate * (calm + burst) / (calm + a.Burst*burst)
+	case ArrivalDiurnal:
+		if a.Period == 0 {
+			a.Period = 100 * sim.Millisecond
+		}
+		if a.Swing == 0 { //afalint:allow floatcompare -- zero-value "unset" sentinel, not a computed float
+			a.Swing = 0.8
+		}
+		if a.Period <= 0 || a.Swing < 0 || a.Swing >= 1 {
+			return a, fmt.Errorf("invalid diurnal params: period=%s swing=%g", a.Period, a.Swing)
+		}
+	default:
+		return a, fmt.Errorf("unknown arrival kind %d", a.Kind)
+	}
+	return a, nil
+}
+
+// arrivalState is the per-tenant mutable state of an arrival process.
+// Only MMPP uses it (the current modulation state and its expiry).
+type arrivalState struct {
+	bursting   bool
+	stateUntil sim.Time
+}
+
+// nextGap draws the next inter-arrival gap at virtual time now, drawing
+// only from rnd (the tenant's own stream, per the rngstream contract).
+// Hot: called once per arrival for every tenant; no allocation, no
+// dispatch.
+func (a *ArrivalSpec) nextGap(now sim.Time, st *arrivalState, rnd *rng.Stream) sim.Duration {
+	rate := a.Rate
+	switch a.Kind {
+	case ArrivalPoisson:
+	case ArrivalMMPP:
+		if now >= st.stateUntil {
+			st.bursting = !st.bursting
+			dwell := a.MeanCalm
+			if st.bursting {
+				dwell = a.MeanBurst
+			}
+			st.stateUntil = now.Add(sim.Duration(rnd.Exp(float64(dwell))))
+		}
+		rate = a.calmRate
+		if st.bursting {
+			rate = a.calmRate * a.Burst
+		}
+	case ArrivalDiurnal:
+		phase := 2 * pi * float64(int64(now)%int64(a.Period)) / float64(a.Period)
+		rate = a.Rate * (1 + a.Swing*sinApprox(phase))
+	default:
+		panic("fio: unnormalized ArrivalSpec")
+	}
+	gap := sim.Duration(rnd.Exp(1e9 / rate))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+const pi = 3.141592653589793
+
+// sinApprox is a Bhaskara-style sine approximation for phase in
+// [0, 2π), accurate to ~0.002 — far below the stochastic noise of the
+// arrival draw it modulates, and free of any libm dependency on the
+// per-arrival path.
+func sinApprox(x float64) float64 {
+	sign := 1.0
+	if x >= pi {
+		x -= pi
+		sign = -1
+	}
+	return sign * 16 * x * (pi - x) / (5*pi*pi - 4*x*(pi-x))
+}

@@ -59,6 +59,34 @@ type JobSpec struct {
 	Seed   uint64
 }
 
+// Validate rejects specs that cannot describe a runnable job. It is
+// strict about zero values — callers that want the documented defaults
+// (BS 4096, IODepth 1, Runtime 2s) go through New, which fills them
+// before validating; a spec that still carries a zero or negative queue
+// depth, block size, or runtime at validation time is a bug in the
+// caller, not a request for a default.
+func (s JobSpec) Validate() error {
+	if s.IODepth <= 0 {
+		return fmt.Errorf("fio: job %q: iodepth must be positive, got %d", s.Name, s.IODepth)
+	}
+	if s.BS <= 0 {
+		return fmt.Errorf("fio: job %q: block size must be positive, got %d", s.Name, s.BS)
+	}
+	if s.Runtime <= 0 {
+		return fmt.Errorf("fio: job %q: runtime must be positive, got %v", s.Name, s.Runtime)
+	}
+	if s.SSD < 0 {
+		return fmt.Errorf("fio: job %q: ssd index must be non-negative, got %d", s.Name, s.SSD)
+	}
+	if s.ThinkTime < 0 {
+		return fmt.Errorf("fio: job %q: think time must be non-negative, got %v", s.Name, s.ThinkTime)
+	}
+	if s.LatLogLimit < 0 {
+		return fmt.Errorf("fio: job %q: lat-log limit must be non-negative, got %d", s.Name, s.LatLogLimit)
+	}
+	return nil
+}
+
 // withDefaults fills zero fields.
 func (s JobSpec) withDefaults() JobSpec {
 	if s.BS == 0 {
@@ -103,9 +131,11 @@ type Result struct {
 	Runtime  sim.Duration
 }
 
-// IOPS reports the job's achieved I/O rate.
+// IOPS reports the job's achieved I/O rate. A job that recorded no
+// elapsed time (or a clock anomaly producing a negative one) reports 0
+// rather than an infinite or negative rate.
 func (r *Result) IOPS() float64 {
-	if r.Runtime == 0 {
+	if r.Runtime <= 0 {
 		return 0
 	}
 	return float64(r.IOs) / r.Runtime.Seconds()
@@ -157,8 +187,15 @@ type Job struct {
 }
 
 // New creates a job (thread is created sleeping; Start launches it).
+// Zero spec fields take the documented defaults; a spec that is invalid
+// after defaulting (negative queue depth, block size, runtime, ...)
+// panics with the Validate error rather than running a silently
+// misconfigured workload.
 func New(eng *sim.Engine, k *kernel.Kernel, spec JobSpec) *Job {
 	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		panic("fio: invalid JobSpec: " + err.Error())
+	}
 	j := &Job{
 		spec: spec,
 		k:    k,

@@ -1,0 +1,81 @@
+package fio
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// runPhasedMux runs a small mux with the phase decomposition armed over
+// bursty (MMPP) and diurnal tenants — arrival processes whose state
+// machines transition mid-run — and returns the result.
+func runPhasedMux(t *testing.T, seed uint64) *MuxResult {
+	t.Helper()
+	r := newRig(t, 4, 2, kernel.CompleteInterrupt, nvme.FirmwareNoSMART)
+	m := NewMultiplexer(r.eng, r.k, MuxConfig{
+		Runtime: 100 * sim.Millisecond,
+		Seed:    seed,
+		Phases:  true,
+	})
+	// MMPP mean calm/burst dwell of 10ms/2ms against a 100ms runtime
+	// guarantees several calm↔burst transitions land mid-run.
+	addTenants(m, 24, 2, kernel.ClassThroughput, ArrivalSpec{Kind: ArrivalMMPP, Rate: 500})
+	addTenants(m, 12, 2, kernel.ClassBackground, ArrivalSpec{Kind: ArrivalDiurnal, Rate: 300})
+	return m.Run()
+}
+
+// TestMuxPhaseDecomposition: with MuxConfig.Phases set, every class
+// that completed I/O carries a per-class blktrace-style decomposition
+// whose sample count matches the class's completions and whose media
+// phase dominates — arrivals that straddle an MMPP burst transition
+// decompose like any other.
+func TestMuxPhaseDecomposition(t *testing.T) {
+	res := runPhasedMux(t, 11)
+	for _, class := range []kernel.QoSClass{kernel.ClassThroughput, kernel.ClassBackground} {
+		cr := res.Class[class]
+		if cr.Completed == 0 {
+			t.Fatalf("%v completed nothing", class)
+		}
+		if cr.Phases == nil {
+			t.Fatalf("%v: Phases nil with MuxConfig.Phases set", class)
+		}
+		if cr.Phases.N() != cr.Completed {
+			t.Errorf("%v: decomposed %d I/Os, completed %d", class, cr.Phases.N(), cr.Completed)
+		}
+		if media := cr.Phases.Mean(PhaseMedia); media <= 0 {
+			t.Errorf("%v: media phase mean %.1f ns", class, media)
+		}
+		if total := cr.Phases.Total(); total <= 0 || total > 10e6 {
+			t.Errorf("%v: implausible phase total %.1f ns", class, total)
+		}
+	}
+	// An unused class stays empty rather than inventing samples.
+	if n := res.Class[kernel.ClassLatency].Phases.N(); n != 0 {
+		t.Errorf("latency class decomposed %d I/Os with no tenants", n)
+	}
+}
+
+// TestMuxPhasesDeterministic: the rendered waterfalls are byte-stable
+// at a fixed seed — mid-burst transitions and all — and a seed sweep
+// (seed, seed+1, ...) changes them, so pooled sweep reports carry
+// real per-seed variation.
+func TestMuxPhasesDeterministic(t *testing.T) {
+	render := func(res *MuxResult) string {
+		return res.Class[kernel.ClassThroughput].Phases.Waterfall() +
+			res.Class[kernel.ClassBackground].Phases.Waterfall()
+	}
+	seen := map[string]uint64{}
+	for seed := uint64(11); seed < 14; seed++ {
+		a := render(runPhasedMux(t, seed))
+		b := render(runPhasedMux(t, seed))
+		if a != b {
+			t.Fatalf("seed %d: waterfall not byte-stable:\n%s\n---\n%s", seed, a, b)
+		}
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("seeds %d and %d produced identical waterfalls", prev, seed)
+		}
+		seen[a] = seed
+	}
+}

@@ -1,0 +1,35 @@
+package fio
+
+// Source is a workload source: anything that, once started, issues I/O
+// into the kernel tier and eventually reports a Result. The two
+// implementations bracket the two load models:
+//
+//   - Job is the closed-loop source: a fixed number of outstanding I/Os
+//     (queue depth), each submission gated on a completion. Offered
+//     load adapts to the array — the coordinated-omission regime.
+//   - TenantStream is the open-loop source: arrivals come from an
+//     arrival process on the tenant's own rng.Stream regardless of how
+//     the array is doing, so queueing delay and overload collapse are
+//     visible instead of silently absorbed into a slower submit rate.
+//
+// Both are driven by the sim engine; Start must be called before the
+// engine runs past the source's first event. The *Result handed to
+// onDone is owned by the source; callers must not retain it past their
+// own aggregation if they reset or reuse the source.
+type Source interface {
+	// Name identifies the source in reports.
+	Name() string
+	// Start arms the source. onDone fires at most once, when the
+	// source's runtime has elapsed and its last inflight I/O drained;
+	// a nil onDone is allowed.
+	Start(onDone func(*Result))
+}
+
+// Name returns the job's spec name.
+func (j *Job) Name() string { return j.spec.Name }
+
+// Compile-time interface checks for the two source implementations.
+var (
+	_ Source = (*Job)(nil)
+	_ Source = (*TenantStream)(nil)
+)

@@ -25,6 +25,24 @@ type Coalescing struct {
 // Enabled reports whether coalescing is active.
 func (c Coalescing) Enabled() bool { return c.Threshold > 1 && c.Timeout > 0 }
 
+// SetCoalescing reconfigures interrupt coalescing (the Set Features
+// admin command), (re)building the dense coalescer table when enabling.
+// Must not be called with coalesced CQEs pending.
+func (k *Kernel) SetCoalescing(c Coalescing) {
+	k.coalesce = c
+	k.coalescers = nil
+	if !c.Enabled() {
+		return
+	}
+	ncpu := k.Sched.NumCPUs()
+	k.coalescers = make([]*coalescer, len(k.SSDs)*ncpu)
+	for i := range k.coalescers {
+		cc := &coalescer{k: k, ssd: i / ncpu, queue: i % ncpu, timer: k.eng.NewTimer()}
+		cc.flushFn = cc.flush
+		k.coalescers[i] = cc
+	}
+}
+
 // coalescer buffers CQEs for one (ssd, queue) pair.
 type coalescer struct {
 	k       *Kernel
@@ -56,32 +74,62 @@ func (c *coalescer) flush() {
 	if len(c.pending) == 0 {
 		return
 	}
-	batch := c.pending
-	c.pending = nil
-	c.k.IRQ.DeliverN(c.ssd, c.queue, len(batch), func(d irq.Delivery) {
-		penalty := c.k.IRQ.WakePenalty(d)
-		for _, p := range batch {
-			p.done(Completion{
-				Result:      p.res,
-				Delivery:    d,
-				WakePenalty: penalty,
-				DeliveredAt: c.k.eng.Now(),
-				Status:      p.res.Status,
-			})
-			// The wake penalty is charged once per interrupt, not per CQE.
-			penalty = 0
-		}
-	})
+	// Hand the batch to a pooled carrier (its delivery callback is bound
+	// once, at the freelist miss) and truncate the pending buffer in
+	// place, so both slices reach a steady capacity and the flush path
+	// stops allocating.
+	d := c.k.getCoalDelivery()
+	d.batch = append(d.batch[:0], c.pending...)
+	c.pending = c.pending[:0]
+	c.k.IRQ.DeliverN(c.ssd, c.queue, len(d.batch), d.onDelivFn)
 }
 
-// coalescerFor returns (creating on demand) the coalescer of (ssd, queue).
-func (k *Kernel) coalescerFor(ssd, queue int) *coalescer {
-	key := ssd*k.Sched.NumCPUs() + queue
-	if c, ok := k.coalescers[key]; ok {
-		return c
+// coalDelivery carries one coalesced CQE batch from DeliverN to its
+// per-CQE completion callbacks.
+type coalDelivery struct {
+	k         *Kernel
+	batch     []pendingCQE
+	onDelivFn func(irq.Delivery)
+}
+
+func (k *Kernel) getCoalDelivery() *coalDelivery {
+	if n := len(k.freeCoalDeliv); n > 0 {
+		d := k.freeCoalDeliv[n-1]
+		k.freeCoalDeliv[n-1] = nil
+		k.freeCoalDeliv = k.freeCoalDeliv[:n-1]
+		return d
 	}
-	c := &coalescer{k: k, ssd: ssd, queue: queue, timer: k.eng.NewTimer()}
-	c.flushFn = c.flush
-	k.coalescers[key] = c
-	return c
+	d := &coalDelivery{k: k}   //afalint:allow hotalloc -- freelist miss only; amortized across carrier reuses
+	d.onDelivFn = d.onDelivery //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+	return d
+}
+
+// onDelivery fans the batch out to its completion callbacks and recycles
+// the carrier. The wake penalty is charged once per interrupt, not per
+// CQE.
+func (d *coalDelivery) onDelivery(del irq.Delivery) {
+	k := d.k
+	penalty := k.IRQ.WakePenalty(del)
+	now := k.eng.Now()
+	for i := range d.batch {
+		p := &d.batch[i]
+		done := p.done
+		p.done = nil
+		done(Completion{
+			Result:      p.res,
+			Delivery:    del,
+			WakePenalty: penalty,
+			DeliveredAt: now,
+			Status:      p.res.Status,
+		})
+		penalty = 0
+	}
+	d.batch = d.batch[:0]
+	k.freeCoalDeliv = append(k.freeCoalDeliv, d)
+}
+
+// coalescerFor returns the coalescer of (ssd, queue) from the dense
+// table built at boot.
+func (k *Kernel) coalescerFor(ssd, queue int) *coalescer {
+	return k.coalescers[ssd*k.Sched.NumCPUs()+queue]
 }

@@ -25,7 +25,7 @@ func TestCoalescingDisabledByDefault(t *testing.T) {
 func newCoalescingRig(t *testing.T, threshold int, timeout sim.Duration) *rig {
 	t.Helper()
 	r := newRig(t, 2, 1, sched.BootOptions{}, CompleteInterrupt)
-	r.k.coalesce = Coalescing{Threshold: threshold, Timeout: timeout}
+	r.k.SetCoalescing(Coalescing{Threshold: threshold, Timeout: timeout})
 	return r
 }
 

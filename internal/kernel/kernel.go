@@ -67,8 +67,12 @@ type Kernel struct {
 
 	daemons []*Daemon
 
-	coalesce   Coalescing
-	coalescers map[int]*coalescer
+	coalesce Coalescing
+	// coalescers is the dense (ssd, queue) → coalescer table, built at
+	// boot when coalescing is enabled (index ssd·NumCPUs + queue).
+	coalescers []*coalescer
+	// freeCoalDeliv recycles coalesced-delivery batch carriers.
+	freeCoalDeliv []*coalDelivery
 
 	timeout TimeoutPolicy
 	iostats IOStats
@@ -127,18 +131,21 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		cfg.Costs = DefaultCosts()
 	}
 	k := &Kernel{
-		eng:        eng,
-		Sched:      cfg.Sched,
-		IRQ:        cfg.IRQ,
-		SSDs:       cfg.SSDs,
-		costs:      cfg.Costs,
-		mode:       cfg.Mode,
-		coalesce:   cfg.Coalesce,
-		coalescers: map[int]*coalescer{},
-		timeout:    cfg.Timeout,
-		rnd:        rng.NewLabeled(cfg.Seed, "kernel"),
-		tickRnd:    rng.NewLabeled(cfg.Seed, "tickwork"),
+		eng:      eng,
+		Sched:    cfg.Sched,
+		IRQ:      cfg.IRQ,
+		SSDs:     cfg.SSDs,
+		costs:    cfg.Costs,
+		mode:     cfg.Mode,
+		coalesce: cfg.Coalesce,
+		timeout:  cfg.Timeout,
+		rnd:      rng.NewLabeled(cfg.Seed, "kernel"),
+		tickRnd:  rng.NewLabeled(cfg.Seed, "tickwork"),
 	}
+	// Dense (ssd, queue) → coalescer table, fully built at boot when
+	// coalescing is on: the per-CQE lookup on the hot path is a slice
+	// index, and every flush callback is bound once, here.
+	k.SetCoalescing(cfg.Coalesce)
 	if cfg.Health != nil {
 		k.health = health.NewTracker(*cfg.Health, len(cfg.SSDs))
 	}

@@ -120,6 +120,12 @@ type IOStats struct {
 	RetryBudgetExhausted int64
 	ShedToReconstruct    int64
 	OverloadEntered      int64
+
+	// Class slices the submit/complete counters by QoS class for
+	// open-loop tenant traffic (PR 8). Only I/O submitted through
+	// SubmitIOClass is counted here; classless SubmitIO traffic
+	// (closed-loop jobs, RAID internal I/O) leaves these untouched.
+	Class [NumQoSClasses]ClassIOStats
 }
 
 // IOStats returns a copy of the tolerance counters.

@@ -57,6 +57,13 @@ var hotAnchors = []hotSpec{
 	{"stats", "Histogram", "Record"},
 	{"nvme", "Controller", "Submit"},
 	{"kernel", "Kernel", "SubmitIO"},
+	// The open-loop tenant multiplexer's per-slot and per-arrival entry
+	// points. tickSlot would be rooted anyway through its Timer.ArmAt
+	// re-arm, but the anchor keeps the wheel hot even if the re-arm
+	// strategy changes; submitArrival is the admitted-arrival submit
+	// path, anchored so its callees carry a direct provenance chain.
+	{"fio", "Multiplexer", "tickSlot"},
+	{"fio", "Multiplexer", "submitArrival"},
 }
 
 // hotSchedulers are the primitives that accept a callback which later

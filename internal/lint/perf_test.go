@@ -48,6 +48,34 @@ func TestPerfNeedsHotRoots(t *testing.T) {
 	}
 }
 
+// TestPerfMuxAnchors covers the multiplexer anchors: the perfmux
+// fixture references no scheduling primitive at all, so the findings in
+// tickSlot, submitArrival, and their callees exist purely because the
+// (fio, Multiplexer, tickSlot/submitArrival) anchors root them — and
+// the cold method's map access stays silent.
+func TestPerfMuxAnchors(t *testing.T) {
+	p := loadFixture(t, "perfmux", "repro/internal/fio")
+	var got []string
+	for _, f := range Run([]*Package{p}, PerfRules()) {
+		got = append(got, fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule))
+	}
+	sort.Strings(got)
+	want := expectations(p)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestPerfMuxAnchorsNeedFioTail reloads the same corpus under a path
+// whose tail matches no anchor: with no scheduler references either,
+// there is no hot set and the run must be silent.
+func TestPerfMuxAnchorsNeedFioTail(t *testing.T) {
+	p := loadFixture(t, "perfmux", "repro/internal/muxfixture")
+	if got := Run([]*Package{p}, PerfRules()); len(got) != 0 {
+		t.Errorf("perf rules fired without the fio anchor tail: %v", got)
+	}
+}
+
 // TestHotSetSharedCallee is the hot-set attribution regression: Hot
 // and Cold share the callee shared(); the callee's finding must carry
 // the shortest chain through the hot side and must not mention the

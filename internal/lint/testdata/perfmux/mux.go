@@ -1,0 +1,41 @@
+// Fixture stub of the open-loop tenant multiplexer surface. Unlike the
+// sim fixture, nothing here references a scheduling primitive: hotness
+// comes purely from the named anchors (fio.(Multiplexer).tickSlot and
+// fio.(Multiplexer).submitArrival), proving the submit path stays hot
+// even if the wheel's timer re-arm is ever restructured away.
+package fixture
+
+type Multiplexer struct {
+	counts map[int]int
+	due    []int
+}
+
+// tickSlot is a hot-set anchor: the wheel's slot tick, the per-slot
+// entry point of the multiplexer.
+func (m *Multiplexer) tickSlot() {
+	m.counts[0]++ // want:hotmap
+	m.release(3)
+}
+
+// release is hot by reachability from the tickSlot anchor.
+func (m *Multiplexer) release(id int) {
+	defer trace() // want:hotdefer
+	m.submitArrival(id)
+}
+
+// submitArrival is a hot-set anchor in its own right: the
+// admitted-arrival submit path.
+func (m *Multiplexer) submitArrival(id int) {
+	var out []int
+	for i := 0; i < id; i++ {
+		out = append(out, i) // want:hotappend
+	}
+	use(out)
+}
+
+// coldReport is unreachable from either anchor and references no
+// scheduler: its map access must stay unreported.
+func (m *Multiplexer) coldReport() int { return m.counts[1] }
+
+func trace()        {}
+func use(out []int) { _ = out }

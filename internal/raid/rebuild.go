@@ -69,6 +69,19 @@ type Rebuilder struct {
 	readsLeft    int
 	stripeFailed bool
 	onDone       func(*RebuildResult)
+
+	// readTargets is survivors + parity, precomputed so issueStripe does
+	// not rebuild the fan-out slice per stripe.
+	readTargets []int
+
+	// Bound-method values allocate a closure each time they're
+	// evaluated, and the stripe cycle evaluates several per stripe; bind
+	// them once at construction.
+	issueStripeFn func()
+	issueWriteFn  func()
+	readDoneFn    func(kernel.Completion)
+	writeDoneFn   func(kernel.Completion)
+	nextStripeFn  func()
 }
 
 // NewRebuilder creates a rebuild stream (call Start to schedule it).
@@ -100,6 +113,12 @@ func NewRebuilder(eng *sim.Engine, k *kernel.Kernel, spec RebuildSpec) *Rebuilde
 		prio = 0
 	}
 	rb.task = k.Sched.NewTask("raid/"+spec.Name, spec.Class, prio, []int{spec.CPU})
+	rb.readTargets = append(append([]int{}, spec.Survivors...), spec.Parity)
+	rb.issueStripeFn = rb.issueStripe
+	rb.issueWriteFn = rb.issueWrite
+	rb.readDoneFn = rb.readDone
+	rb.writeDoneFn = rb.writeDone
+	rb.nextStripeFn = rb.nextStripe
 	return rb
 }
 
@@ -114,7 +133,7 @@ func (rb *Rebuilder) Start(onDone func(*RebuildResult)) {
 	}
 	rb.eng.ScheduleAt(at, func() {
 		rb.res.StartedAt = rb.eng.Now()
-		rb.wakeTask(rb.readBurst(), rb.issueStripe)
+		rb.wakeTask(rb.readBurst(), rb.issueStripeFn)
 	})
 }
 
@@ -145,10 +164,10 @@ func (rb *Rebuilder) issueStripe() {
 	rb.stripeFailed = false
 	rb.readsLeft = len(rb.spec.Survivors) + 1
 	lba := rb.stripe
-	for _, ssd := range append(append([]int{}, rb.spec.Survivors...), rb.spec.Parity) {
+	for _, ssd := range rb.readTargets {
 		rb.res.Reads++
 		cmd := nvme.Command{Op: nvme.OpRead, LBA: lba, Bytes: 4096}
-		rb.k.SubmitIO(rb.task.CPU(), ssd, cmd, rb.readDone)
+		rb.k.SubmitIO(rb.task.CPU(), ssd, cmd, rb.readDoneFn)
 	}
 }
 
@@ -172,7 +191,7 @@ func (rb *Rebuilder) readDone(comp kernel.Completion) {
 		rb.advance()
 		return
 	}
-	rb.wakeTask(rb.k.Costs().Submit, rb.issueWrite)
+	rb.wakeTask(rb.k.Costs().Submit, rb.issueWriteFn)
 }
 
 // issueWrite runs on the rebuild thread: write the reconstructed slice
@@ -180,7 +199,7 @@ func (rb *Rebuilder) readDone(comp kernel.Completion) {
 func (rb *Rebuilder) issueWrite() {
 	rb.res.Writes++
 	cmd := nvme.Command{Op: nvme.OpWrite, LBA: rb.stripe, Bytes: 4096}
-	rb.k.SubmitIO(rb.task.CPU(), rb.spec.Target, cmd, rb.writeDone)
+	rb.k.SubmitIO(rb.task.CPU(), rb.spec.Target, cmd, rb.writeDoneFn)
 }
 
 // writeDone runs in softirq context for the target write.
@@ -200,12 +219,16 @@ func (rb *Rebuilder) writeDone(comp kernel.Completion) {
 // advance moves to the next stripe after the throttle pause.
 func (rb *Rebuilder) advance() {
 	rb.stripe++
-	next := func() { rb.wakeTask(rb.readBurst(), rb.issueStripe) }
 	if rb.spec.Throttle > 0 {
-		rb.eng.Schedule(rb.spec.Throttle, next)
+		rb.eng.Schedule(rb.spec.Throttle, rb.nextStripeFn)
 		return
 	}
-	next()
+	rb.nextStripe()
+}
+
+// nextStripe wakes the rebuild thread for the next stripe's read burst.
+func (rb *Rebuilder) nextStripe() {
+	rb.wakeTask(rb.readBurst(), rb.issueStripeFn)
 }
 
 func (rb *Rebuilder) finish() {

@@ -77,6 +77,16 @@ func NewLabeled(seed uint64, label string) *Stream {
 	return New(seed ^ hashString(label))
 }
 
+// DeriveIndexed returns the i-th child stream of r, for components that
+// own a dense array of peers (one stream per tenant, per shard, ...).
+// Like Derive it mixes seed material, not evolving state, so child i is
+// the same stream no matter how much the parent or its siblings have
+// drawn. The index is golden-ratio mixed before the xor so adjacent
+// indices land in unrelated seed neighborhoods.
+func (r *Stream) DeriveIndexed(i uint64) *Stream {
+	return New(r.seed ^ (i+1)*0x9e3779b97f4a7c15)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

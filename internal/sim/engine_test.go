@@ -337,3 +337,92 @@ func TestTickerBadPeriodPanics(t *testing.T) {
 	}()
 	NewTicker(e, 0, func(Time) {})
 }
+
+// TestRunUntilDrainsCanceledHeadPastT pins RunUntil's tombstone-drain
+// contract: a canceled event at the head of the queue is discarded even
+// when its timestamp lies beyond t, and the clock still lands exactly on
+// t. Cancel normally removes events eagerly, so the tombstone is built
+// white-box — the drain branch must keep working if a future Cancel
+// strategy leaves canceled events queued.
+func TestRunUntilDrainsCanceledHeadPastT(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(Time(50*Microsecond), func() { fired = true })
+	ev.canceled = true // white-box tombstone: still queued, head of heap
+
+	e.RunUntil(Time(20 * Microsecond))
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0 (tombstone not drained)", e.Pending())
+	}
+	if e.Now() != Time(20*Microsecond) {
+		t.Fatalf("Now() = %v, want 20µs", e.Now())
+	}
+}
+
+// TestRunUntilDrainsTombstoneBeforeLiveEvent: the tombstone drain only
+// discards canceled heads — a live event beyond t stays queued.
+func TestRunUntilDrainsTombstoneBeforeLiveEvent(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(Time(50*Microsecond), func() {})
+	ev.canceled = true // white-box tombstone at the head
+	liveFired := false
+	e.At(Time(60*Microsecond), func() { liveFired = true })
+
+	e.RunUntil(Time(20 * Microsecond))
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1 (live event must survive)", e.Pending())
+	}
+	if e.Now() != Time(20*Microsecond) {
+		t.Fatalf("Now() = %v, want 20µs", e.Now())
+	}
+	e.Run()
+	if !liveFired {
+		t.Fatal("live event behind the tombstone never fired")
+	}
+}
+
+// TestTimerArmAtCurrentInstantFIFO: arming a timer at the current
+// instant assigns a fresh sequence number, so it fires after events
+// already queued at that same instant — the (when, seq) FIFO contract
+// holds for timers exactly as for plain events.
+func TestTimerArmAtCurrentInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	tm := e.NewTimer()
+	var got []string
+	e.At(Time(10*Microsecond), func() {
+		e.ScheduleAt(e.Now(), func() { got = append(got, "event") })
+		tm.ArmAt(e.Now(), func() { got = append(got, "timer") })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "event" || got[1] != "timer" {
+		t.Fatalf("fire order %v, want [event timer]", got)
+	}
+}
+
+// TestTimerRearmAtNowSupersedesOldDeadline: re-arming an armed timer at
+// the current instant cancels the old deadline and takes a fresh seq —
+// the old callback never fires, and the new one queues FIFO behind
+// events already scheduled at this instant.
+func TestTimerRearmAtNowSupersedesOldDeadline(t *testing.T) {
+	e := NewEngine()
+	tm := e.NewTimer()
+	var got []string
+	tm.ArmAt(Time(100*Microsecond), func() { got = append(got, "stale") })
+	e.At(Time(10*Microsecond), func() {
+		e.ScheduleAt(e.Now(), func() { got = append(got, "first") })
+		tm.ArmAt(e.Now(), func() { got = append(got, "rearmed") })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "first" || got[1] != "rearmed" {
+		t.Fatalf("fire order %v, want [first rearmed]", got)
+	}
+	if e.Now() != Time(10*Microsecond) {
+		t.Fatalf("Now() = %v, want 10µs (stale 100µs deadline must not fire)", e.Now())
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}

@@ -1,0 +1,59 @@
+package stats
+
+// HistogramSet is a dense, fixed-size bank of histograms indexed by a
+// small integer key — one per QoS class, per phase, per shard, or any
+// other enumerable slice of a workload. It exists so hot completion
+// paths can record into "the class-i histogram" with a bounds-checked
+// slice index and nothing else: no map lookup, no interface dispatch,
+// no allocation.
+type HistogramSet struct {
+	hs []*Histogram
+}
+
+// NewHistogramSet builds a set of n independent histograms.
+func NewHistogramSet(n int) *HistogramSet {
+	s := &HistogramSet{hs: make([]*Histogram, n)}
+	for i := range s.hs {
+		s.hs[i] = NewHistogram()
+	}
+	return s
+}
+
+// Len returns the number of histograms in the set.
+func (s *HistogramSet) Len() int { return len(s.hs) }
+
+// Record adds one sample to histogram i. Panics if i is out of range,
+// mirroring a slice index.
+func (s *HistogramSet) Record(i int, v int64) { s.hs[i].Record(v) }
+
+// Hist returns histogram i for direct inspection.
+func (s *HistogramSet) Hist(i int) *Histogram { return s.hs[i] }
+
+// Ladder summarizes histogram i into a latency ladder.
+func (s *HistogramSet) Ladder(i int) Ladder { return LadderOf(s.hs[i]) }
+
+// Ladders summarizes every histogram in index order.
+func (s *HistogramSet) Ladders() []Ladder {
+	out := make([]Ladder, len(s.hs))
+	for i, h := range s.hs {
+		out[i] = LadderOf(h)
+	}
+	return out
+}
+
+// Merge folds o into s element-wise. Panics if the sets differ in size.
+func (s *HistogramSet) Merge(o *HistogramSet) {
+	if len(s.hs) != len(o.hs) {
+		panic("stats: HistogramSet size mismatch in Merge")
+	}
+	for i, h := range s.hs {
+		h.Merge(o.hs[i])
+	}
+}
+
+// Reset clears every histogram in the set.
+func (s *HistogramSet) Reset() {
+	for _, h := range s.hs {
+		h.Reset()
+	}
+}

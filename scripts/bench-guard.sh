@@ -3,12 +3,17 @@
 #
 # BENCH_engine.json is committed per-merge, so HEAD always records the
 # events-per-second the simulator's inner loop achieved on the last
-# accepted commit. This script reruns BenchmarkEngineThroughput once,
-# compares the fresh events_per_sec against the committed figure, and
-# fails if the engine lost more than BENCH_GUARD_THRESHOLD percent
-# (default 20) — catching hot-path regressions that slip past
+# accepted commit. This script reruns BenchmarkEngineThroughput and
+# BenchmarkTenantMux once, compares the fresh figures against the
+# committed ones, and fails if any lost more than BENCH_GUARD_THRESHOLD
+# percent (default 20) — catching hot-path regressions that slip past
 # `afalint -perf`'s static rules (an O(n) scan that grew, an event
-# storm) before they land.
+# storm) before they land. Guarded figures:
+#
+#   events_per_sec of the first row (headline-64ssd) — the closed-loop
+#   inner loop;
+#   arrivals_per_sec of each tenant-mux-* row — the open-loop
+#   multiplexer's per-arrival path at 10k and 100k tenant populations.
 #
 # The committed BENCH_engine.json is restored afterwards: regenerating
 # the baseline is a deliberate act (commit the file the benchmark
@@ -25,7 +30,37 @@ extract_eps() {
   sed -n 's/.*"events_per_sec": *\([0-9.eE+]*\).*/\1/p' | head -1
 }
 
-baseline="$(git show HEAD:BENCH_engine.json 2>/dev/null | extract_eps || true)"
+# extract_row_field <experiment> <field>: the field's value inside the
+# row whose "experiment" matches, relying on "experiment" being the
+# first key WriteEngineBenchJSON emits per row.
+extract_row_field() {
+  awk -v name="\"$1\"" -v field="\"$2\"" '
+    index($0, "\"experiment\": " name) { hit = 1 }
+    hit && index($0, field ":") {
+      v = $0
+      sub(/.*: */, "", v); sub(/,.*/, "", v)
+      print v; exit
+    }
+    /}/ { hit = 0 }
+  '
+}
+
+# compare <label> <baseline> <fresh>: fail if fresh dropped more than
+# threshold percent below baseline.
+compare() {
+  awk -v label="$1" -v base="$2" -v fresh="$3" -v thr="${threshold}" 'BEGIN {
+    drop = (base - fresh) / base * 100
+    printf "bench-guard: %s %.0f -> %.0f (%+.1f%%), threshold -%s%%\n",
+           label, base, fresh, -drop, thr
+    if (drop > thr) {
+      printf "bench-guard: %s regressed more than %s%%\n", label, thr
+      exit 1
+    }
+  }'
+}
+
+committed="$(git show HEAD:BENCH_engine.json 2>/dev/null || true)"
+baseline="$(printf '%s' "${committed}" | extract_eps || true)"
 if [ -z "${baseline}" ]; then
   echo "bench-guard: no committed BENCH_engine.json at HEAD; nothing to compare against" >&2
   exit 0
@@ -39,25 +74,33 @@ if [ -f BENCH_engine.json ]; then
   had_file=1
 fi
 
-go test -run '^$' -bench BenchmarkEngineThroughput -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'BenchmarkEngineThroughput|BenchmarkTenantMux' -benchtime=1x . >/dev/null
 
-fresh="$(extract_eps < BENCH_engine.json)"
+fresh_json="$(cat BENCH_engine.json)"
 if [ "${had_file}" = 1 ]; then
   cp "${saved}" BENCH_engine.json
 else
   rm -f BENCH_engine.json
 fi
+fresh="$(printf '%s' "${fresh_json}" | extract_eps)"
 if [ -z "${fresh}" ]; then
   echo "bench-guard: benchmark produced no events_per_sec" >&2
   exit 1
 fi
 
-awk -v base="${baseline}" -v fresh="${fresh}" -v thr="${threshold}" 'BEGIN {
-  drop = (base - fresh) / base * 100
-  printf "bench-guard: events/sec %.0f -> %.0f (%+.1f%%), threshold -%s%%\n",
-         base, fresh, -drop, thr
-  if (drop > thr) {
-    printf "bench-guard: engine throughput regressed more than %s%%\n", thr
+compare "events/sec" "${baseline}" "${fresh}"
+
+for exp in tenant-mux-10k tenant-mux-100k; do
+  base_aps="$(printf '%s' "${committed}" | extract_row_field "${exp}" '"arrivals_per_sec"' || true)"
+  if [ -z "${base_aps}" ]; then
+    # The committed baseline predates the tenant-mux rows; skip until a
+    # merge commits them.
+    continue
+  fi
+  fresh_aps="$(printf '%s' "${fresh_json}" | extract_row_field "${exp}" '"arrivals_per_sec"')"
+  if [ -z "${fresh_aps}" ]; then
+    echo "bench-guard: benchmark produced no arrivals_per_sec for ${exp}" >&2
     exit 1
-  }
-}'
+  fi
+  compare "${exp} arrivals/sec" "${base_aps}" "${fresh_aps}"
+done

@@ -25,6 +25,10 @@
 #                  under -race: exported reports of every fan-out —
 #                  including the write ablation and its rebuild stream —
 #                  must be byte-identical at -parallel 1 and 8.
+#   load smoke   — afareport's open-loop offered-load ladder end to end
+#                  at a small scale: the capacity probe, both arms of
+#                  the rung grid, and the knee detection all execute
+#                  through the real CLI path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,3 +38,4 @@ go run ./cmd/afalint ./...
 go run ./cmd/afalint -perf -baseline lint_perf.baseline ./...
 go test -race -shuffle=on ./...
 go test -race -count=1 -run 'TestParallelDeterminism|TestMap' ./internal/core/ ./internal/runner/
+go run ./cmd/afareport -ablate load -ssds 4 -runtime 40ms >/dev/null
