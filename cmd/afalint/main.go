@@ -22,6 +22,13 @@
 //	go build -gcflags='-m -m' ./... 2>escape.txt
 //	afalint -perf -escape-data escape.txt ./...
 //
+//	# run the state-integrity family instead: must-assign field
+//	# coverage for pooled objects, Reset() methods, and
+//	# Snapshot()/Clone() methods, plus package-level-state and
+//	# use-after-recycle checks (ledger: lint_state.baseline):
+//	afalint -state ./...
+//	afalint -state -baseline lint_state.baseline ./...
+//
 //	# lint a bare directory (e.g. the fixture corpus) as if it were
 //	# the named package; the import path controls rule scoping:
 //	afalint -as repro/internal/sim ./internal/lint/testdata/nogoroutine
@@ -65,6 +72,7 @@ func main() {
 		baselinePath  = flag.String("baseline", "", "filter findings through this baseline file; stale entries warn on stderr")
 		writeBaseline = flag.String("write-baseline", "", "record current findings to this baseline file and exit")
 		perf          = flag.Bool("perf", false, "run the afaperf hot-set performance rules instead of the determinism contract")
+		state         = flag.Bool("state", false, "run the state-integrity rules (pool/reset/snapshot field coverage) instead of the determinism contract")
 		escapeData    = flag.String("escape-data", "", "with -perf: narrow hotalloc to sites in this `go build -gcflags=-m` output")
 	)
 	flag.Parse()
@@ -123,9 +131,13 @@ func main() {
 		fatal(fmt.Errorf("no packages match %v", patterns))
 	}
 
+	if *perf && *state {
+		fatal(fmt.Errorf("-perf and -state are mutually exclusive; run them as separate passes"))
+	}
 	rules := lint.AllRules()
 	var esc *lint.EscapeIndex
-	if *perf {
+	switch {
+	case *perf:
 		rules = lint.PerfRules()
 		if *escapeData != "" {
 			data, err := os.ReadFile(*escapeData)
@@ -135,7 +147,10 @@ func main() {
 			esc = lint.ParseEscapeOutput(data)
 			fmt.Fprintf(os.Stderr, "afalint: escape data covers %d allocation site(s)\n", esc.Len())
 		}
-	} else if *escapeData != "" {
+	case *state:
+		rules = lint.StateRules()
+	}
+	if !*perf && *escapeData != "" {
 		fatal(fmt.Errorf("-escape-data only applies with -perf"))
 	}
 
@@ -220,6 +235,7 @@ func ruleFamilies() []ruleFamily {
 	return []ruleFamily{
 		{"determinism contract (default)", lint.AllRules()},
 		{"performance contract (-perf)", lint.PerfRules()},
+		{"state-integrity contract (-state)", lint.StateRules()},
 	}
 }
 

@@ -1,0 +1,1323 @@
+// Field-graph machinery for the state-integrity rule family
+// (state.go): per-package enumeration of struct leaf fields (embedded
+// fields expanded), a construction-aware mutability classification, a
+// structural scan for freelist-style object pools, and a conservative
+// must-assign dataflow over function bodies — which fields does this
+// function definitely assign on *every* path through if/else, switch,
+// and early returns.
+//
+// The dataflow only ever under-claims: when control flow is too dynamic
+// to follow (goto, loops, calls it cannot see into), it credits nothing
+// rather than guessing. That direction is what makes the resetcover and
+// snapshotcover findings trustworthy — a claimed assignment really
+// happens on every completing path.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StickyDirective marks a struct field that intentionally survives
+// recycle/reset (e.g. physical die occupancy across an FTL Format).
+// Usage, on the field's line or its doc comment:
+//
+//	dieFree []sim.Time //afalint:sticky -- why it survives
+const StickyDirective = "//afalint:sticky"
+
+// PooledDirective marks a type as pooled when the structural freelist
+// scan cannot see it (e.g. a ring buffer reuse scheme). Usage, on the
+// type declaration's doc comment:
+//
+//	//afalint:pooled -- why the scan cannot see it
+//	type carrier struct { ... }
+const PooledDirective = "//afalint:pooled"
+
+// fieldEntry is one leaf field of a struct type: the dotted path from
+// the root object (embedded structs expanded) and whether a sticky
+// marker exempts it from coverage.
+type fieldEntry struct {
+	Path   string
+	Sticky bool
+}
+
+// assignSet is a set of definitely-assigned field paths. The empty
+// path "" means the whole object was assigned (composite literal,
+// new(T), full value copy). An assigned path covers itself and every
+// deeper path under it.
+type assignSet map[string]bool
+
+// covers reports whether path (or a dotted prefix of it) is in the set.
+func (s assignSet) covers(path string) bool {
+	if s[""] {
+		return true
+	}
+	for {
+		if s[path] {
+			return true
+		}
+		i := strings.LastIndex(path, ".")
+		if i < 0 {
+			return false
+		}
+		path = path[:i]
+	}
+}
+
+func (s assignSet) clone() assignSet {
+	out := make(assignSet, len(s))
+	for k := range s { //afalint:allow maporder -- map-to-map copy; no ordering escapes
+		out[k] = true
+	}
+	return out
+}
+
+// intersectSets returns the paths every set covers: the union of all
+// keys, filtered to those covered by every input. Prefix semantics make
+// this sharper than plain key intersection — {""} ∩ {"a"} is {"a"}.
+func intersectSets(sets []assignSet) assignSet {
+	if len(sets) == 0 {
+		return assignSet{}
+	}
+	keys := map[string]bool{}
+	for _, s := range sets {
+		for k := range s { //afalint:allow maporder -- set union into a set; no ordering escapes
+			keys[k] = true
+		}
+	}
+	out := assignSet{}
+	for k := range keys { //afalint:allow maporder -- map-to-map filter; no ordering escapes
+		ok := true
+		for _, s := range sets {
+			if !s.covers(k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Must-assign analysis modes. The same dataflow serves two contracts
+// with opposite composite-literal semantics: on a recycle path,
+// `*r = T{}` resets every field (zeroing IS resetting); in a snapshot,
+// `return T{a: x}` copies only the keyed fields (zero is NOT a copy).
+const (
+	modeReset = iota
+	modeSnapshot
+)
+
+// maKey memoizes must-assign results per (function, tracked type,
+// mode, receiver exclusion).
+type maKey struct {
+	fd          *ast.FuncDecl
+	typ         *types.Named
+	mode        int
+	excludeRecv bool
+}
+
+// releaseRec is one pool-release site: `x.F = append(x.F, v)`.
+type releaseRec struct {
+	fd   *ast.FuncDecl
+	stmt *ast.AssignStmt
+	// arg is the released variable when the appended value is a plain
+	// identifier; nil otherwise (poolescape skips the site then).
+	arg *types.Var
+}
+
+// poolInfo is one pooled element type and every function that touches
+// its freelist(s).
+type poolInfo struct {
+	elem       *types.Named
+	marked     bool      // forced by //afalint:pooled
+	anchor     token.Pos // first acquire fn name, else the type decl
+	acquireFns []*ast.FuncDecl
+	releaseFns []*ast.FuncDecl
+	releases   []releaseRec
+}
+
+// fieldGraph is the per-package view the state rules share, built once
+// per package on first use.
+type fieldGraph struct {
+	p *Package
+	// decls is every non-test function declaration with a body, in
+	// file/syntax order — the deterministic iteration backbone.
+	decls  []*ast.FuncDecl
+	declOf map[*types.Func]*ast.FuncDecl
+	fnOf   map[*ast.FuncDecl]*types.Func
+
+	sticky      map[*types.Var]bool
+	pooledMark  map[*types.TypeName]bool
+	typeSpecs   []*ast.TypeSpec // non-test type declarations, syntax order
+	typeDeclPos map[*types.TypeName]token.Pos
+
+	leaves   map[*types.Named][]fieldEntry
+	mutPaths map[*types.Named]map[string]bool
+	pools    []*poolInfo
+
+	memo     map[maKey]assignSet
+	inflight map[maKey]bool
+}
+
+// fieldGraph returns the package's field graph, building it on first
+// use. Requires type information; callers check p.Info/p.Types first.
+func (p *Package) fieldGraph() *fieldGraph {
+	if p.fg == nil {
+		p.fg = newFieldGraph(p)
+	}
+	return p.fg
+}
+
+func newFieldGraph(p *Package) *fieldGraph {
+	g := &fieldGraph{
+		p:           p,
+		declOf:      map[*types.Func]*ast.FuncDecl{},
+		fnOf:        map[*ast.FuncDecl]*types.Func{},
+		sticky:      map[*types.Var]bool{},
+		pooledMark:  map[*types.TypeName]bool{},
+		typeDeclPos: map[*types.TypeName]token.Pos{},
+		leaves:      map[*types.Named][]fieldEntry{},
+		mutPaths:    map[*types.Named]map[string]bool{},
+		memo:        map[maKey]assignSet{},
+		inflight:    map[maKey]bool{},
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				g.decls = append(g.decls, d)
+				if fn, ok := p.Info.Defs[d.Name].(*types.Func); ok {
+					g.declOf[fn] = d
+					g.fnOf[d] = fn
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						g.scanTypeSpec(d, ts)
+					}
+				}
+			}
+		}
+	}
+	g.buildMutations()
+	g.buildPools()
+	return g
+}
+
+// scanTypeSpec records the type's declaration position, its pooled
+// marker (on the GenDecl or TypeSpec doc, or the same-line comment),
+// and sticky markers on its fields.
+func (g *fieldGraph) scanTypeSpec(gd *ast.GenDecl, ts *ast.TypeSpec) {
+	tn, ok := g.p.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	g.typeSpecs = append(g.typeSpecs, ts)
+	g.typeDeclPos[tn] = ts.Name.Pos()
+	if hasDirective(gd.Doc, PooledDirective) || hasDirective(ts.Doc, PooledDirective) || hasDirective(ts.Comment, PooledDirective) {
+		g.pooledMark[tn] = true
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, fld := range st.Fields.List {
+		if !hasDirective(fld.Doc, StickyDirective) && !hasDirective(fld.Comment, StickyDirective) {
+			continue
+		}
+		for _, name := range fld.Names {
+			if v, ok := g.p.Info.Defs[name].(*types.Var); ok {
+				g.sticky[v] = true
+			}
+		}
+	}
+}
+
+// hasDirective reports whether any comment line in cg starts with dir
+// (exactly, or followed by an argument/reason).
+func hasDirective(cg *ast.CommentGroup, dir string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == dir || strings.HasPrefix(text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// localNamedStruct returns the same-package named struct type behind t
+// (derefing one pointer level), or nil.
+func (g *fieldGraph) localNamedStruct(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg() != g.p.Types {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// leafEntries enumerates the leaf field paths of n. Embedded
+// same-package value structs expand recursively (their fields are this
+// object's state); embedded pointers and external embeds stay single
+// leaves (assigning the embed itself is the best a reset can do).
+func (g *fieldGraph) leafEntries(n *types.Named) []fieldEntry {
+	if out, ok := g.leaves[n]; ok {
+		return out
+	}
+	g.leaves[n] = nil // cycle guard for recursive embeds
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []fieldEntry
+	g.expandStruct(st, "", false, &out)
+	g.leaves[n] = out
+	return out
+}
+
+func (g *fieldGraph) expandStruct(st *types.Struct, prefix string, sticky bool, out *[]fieldEntry) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		path := f.Name()
+		if prefix != "" {
+			path = prefix + "." + path
+		}
+		s := sticky || g.sticky[f]
+		if f.Embedded() {
+			if inner, ok := f.Type().(*types.Named); ok && g.localNamedStruct(inner) == inner {
+				if ist, ok := inner.Underlying().(*types.Struct); ok {
+					g.expandStruct(ist, path, s, out)
+					continue
+				}
+			}
+		}
+		*out = append(*out, fieldEntry{Path: path, Sticky: s})
+	}
+}
+
+// mutable reports whether the leaf at path on n is ever written outside
+// construction. A deeper write (Timing.ReadPage) dirties the leaf
+// above it (Timing); a shallower write dirties every leaf under it.
+func (g *fieldGraph) mutable(n *types.Named, path string) bool {
+	m := g.mutPaths[n]
+	if m == nil {
+		return false
+	}
+	if m[path] {
+		return true
+	}
+	for w := range m { //afalint:allow maporder -- existence query; no ordering escapes
+		if strings.HasPrefix(w, path+".") || strings.HasPrefix(path, w+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Mutability classification.
+//
+// A field is mutable when some non-test function writes it outside
+// construction. Construction is a write through a variable bound to a
+// fresh allocation (&T{...}, T{...}, new(T)) earlier in the same or an
+// enclosing statement list: NewDevice filling d after d := &Device{...}
+// is construction; getReq assigning r.cmd after popping r from a
+// freelist is mutation. The constructed-variable environment flows
+// *down* into nested blocks but never back out, and function literals
+// start with an empty environment (the closure may run long after
+// construction finished).
+
+func (g *fieldGraph) buildMutations() {
+	for _, fd := range g.decls {
+		g.mutScanList(fd.Body.List, map[*types.Var]bool{})
+	}
+}
+
+func cloneVarSet(m map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(m))
+	for k := range m { //afalint:allow maporder -- map-to-map copy; no ordering escapes
+		out[k] = true
+	}
+	return out
+}
+
+// mutScanList scans one statement list with its own copy of the
+// constructed-variable environment.
+func (g *fieldGraph) mutScanList(list []ast.Stmt, env map[*types.Var]bool) {
+	env = cloneVarSet(env)
+	for _, s := range list {
+		g.mutScanStmt(s, env)
+	}
+}
+
+func (g *fieldGraph) mutScanStmt(s ast.Stmt, env map[*types.Var]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		g.mutScanList(s.List, env)
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && rhs != nil && g.isAllocExpr(rhs) {
+				if v := g.p.objOf(id); v != nil {
+					env[v] = true
+				}
+				continue
+			}
+			g.recordWrite(lhs, env)
+		}
+		for _, r := range s.Rhs {
+			g.mutScanExpr(r, env)
+		}
+	case *ast.IncDecStmt:
+		g.recordWrite(s.X, env)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					if g.isAllocExpr(vs.Values[i]) {
+						if v, ok := g.p.Info.Defs[name].(*types.Var); ok {
+							env[v] = true
+						}
+					}
+					g.mutScanExpr(vs.Values[i], env)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		g.mutScanExpr(s.X, env)
+	case *ast.SendStmt:
+		g.mutScanExpr(s.Chan, env)
+		g.mutScanExpr(s.Value, env)
+	case *ast.IfStmt:
+		e2 := cloneVarSet(env)
+		g.mutScanStmt(s.Init, e2)
+		g.mutScanExpr(s.Cond, e2)
+		g.mutScanStmt(s.Body, e2)
+		g.mutScanStmt(s.Else, e2)
+	case *ast.ForStmt:
+		e2 := cloneVarSet(env)
+		g.mutScanStmt(s.Init, e2)
+		if s.Cond != nil {
+			g.mutScanExpr(s.Cond, e2)
+		}
+		g.mutScanStmt(s.Post, e2)
+		g.mutScanStmt(s.Body, e2)
+	case *ast.RangeStmt:
+		e2 := cloneVarSet(env)
+		g.mutScanExpr(s.X, e2)
+		g.mutScanStmt(s.Body, e2)
+	case *ast.SwitchStmt:
+		e2 := cloneVarSet(env)
+		g.mutScanStmt(s.Init, e2)
+		if s.Tag != nil {
+			g.mutScanExpr(s.Tag, e2)
+		}
+		g.mutScanStmt(s.Body, e2)
+	case *ast.TypeSwitchStmt:
+		e2 := cloneVarSet(env)
+		g.mutScanStmt(s.Init, e2)
+		g.mutScanStmt(s.Assign, e2)
+		g.mutScanStmt(s.Body, e2)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			g.mutScanExpr(e, env)
+		}
+		g.mutScanList(s.Body, env)
+	case *ast.SelectStmt:
+		g.mutScanStmt(s.Body, env)
+	case *ast.CommClause:
+		g.mutScanStmt(s.Comm, env)
+		g.mutScanList(s.Body, env)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			g.mutScanExpr(e, env)
+		}
+	case *ast.GoStmt:
+		g.mutScanExpr(s.Call, env)
+	case *ast.DeferStmt:
+		g.mutScanExpr(s.Call, env)
+	case *ast.LabeledStmt:
+		g.mutScanStmt(s.Stmt, env)
+	}
+}
+
+// mutScanExpr looks for function literals inside e: their bodies are
+// scanned with an empty constructed-variable environment, so writes
+// inside closures always count as mutation.
+func (g *fieldGraph) mutScanExpr(e ast.Expr, env map[*types.Var]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			g.mutScanList(fl.Body.List, map[*types.Var]bool{})
+			return false
+		}
+		return true
+	})
+}
+
+// isAllocExpr reports whether e is a fresh allocation: &T{...}, T{...},
+// or new(T).
+func (g *fieldGraph) isAllocExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new" && g.p.isBuiltin(id)
+		}
+	}
+	return false
+}
+
+// recordWrite classifies one write target: when it resolves to a field
+// path on a same-package named struct and the base variable is not
+// freshly constructed, the path is marked mutable.
+func (g *fieldGraph) recordWrite(lhs ast.Expr, env map[*types.Var]bool) {
+	named, path, base := g.typedPath(lhs)
+	if named == nil || path == "" {
+		return
+	}
+	if base != nil && env[base] {
+		return
+	}
+	m := g.mutPaths[named]
+	if m == nil {
+		m = map[string]bool{}
+		g.mutPaths[named] = m
+	}
+	m[path] = true
+}
+
+// typedPath resolves an lvalue-ish expression to (named struct type,
+// dotted field path, base variable). Index and deref steps keep the
+// path of the expression under them: writing e.queue[i] mutates field
+// queue. A bare variable of struct type resolves with path "".
+func (g *fieldGraph) typedPath(e ast.Expr) (*types.Named, string, *types.Var) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return g.typedPath(e.X)
+	case *ast.StarExpr:
+		return g.typedPath(e.X)
+	case *ast.IndexExpr:
+		return g.typedPath(e.X)
+	case *ast.Ident:
+		v := g.p.objOf(e)
+		if v == nil {
+			return nil, "", nil
+		}
+		n := g.localNamedStruct(v.Type())
+		if n == nil {
+			return nil, "", nil
+		}
+		return n, "", v
+	case *ast.SelectorExpr:
+		n, path, base := g.typedPath(e.X)
+		if n == nil {
+			return nil, "", nil
+		}
+		seg, ok := g.selName(e)
+		if !ok || seg == "" {
+			return nil, "", nil
+		}
+		if path != "" {
+			seg = path + "." + seg
+		}
+		return n, seg, base
+	}
+	return nil, "", nil
+}
+
+// selName renders the field selection sel as a dotted name relative to
+// the type of sel.X, expanding implicit embedded steps. Non-field
+// selections (methods, qualified identifiers) return false.
+func (g *fieldGraph) selName(sel *ast.SelectorExpr) (string, bool) {
+	if s, ok := g.p.Info.Selections[sel]; ok {
+		if s.Kind() != types.FieldVal {
+			return "", false
+		}
+		return indexNames(g.p.typeOf(sel.X), s.Index()), true
+	}
+	if v, ok := g.p.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v.Name(), true
+	}
+	return "", false
+}
+
+// indexNames walks the field index path idx from t, joining the field
+// names with dots (embedded hops made explicit).
+func indexNames(t types.Type, idx []int) string {
+	var parts []string
+	for _, i := range idx {
+		for {
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+				continue
+			}
+			break
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			break
+		}
+		f := st.Field(i)
+		parts = append(parts, f.Name())
+		t = f.Type()
+	}
+	return strings.Join(parts, ".")
+}
+
+// ---------------------------------------------------------------------
+// Pool detection.
+//
+// A freelist field is a slice-of-pointer field that objects are
+// released to (x.F = append(x.F, v)) and acquired from (x.F shrunk by
+// reslicing). To keep ordinary growing slices — above all the event
+// *heap*, which also appends and reslices — out, every other use of
+// the field must be freelist-shaped: len/cap, indexing, or storing nil
+// into a slot. One bare alias (q := e.queue) or non-nil element store
+// (e.queue[i] = moved) disqualifies the field.
+
+// poolCandidate accumulates evidence for one (owner, field) pair.
+type poolCandidate struct {
+	owner      *types.Named
+	path       string
+	elem       *types.Named
+	acquireFns []*ast.FuncDecl
+	releaseFns []*ast.FuncDecl
+	releases   []releaseRec
+	bad        bool
+}
+
+func (g *fieldGraph) buildPools() {
+	// Pass A: collect append-release and shrink-acquire sites.
+	cands := map[string]*poolCandidate{} // keyed owner.Name + "\x00" + path
+	var order []string
+	candFor := func(owner *types.Named, path string, elem *types.Named) *poolCandidate {
+		key := owner.Obj().Name() + "\x00" + path
+		c := cands[key]
+		if c == nil {
+			c = &poolCandidate{owner: owner, path: path, elem: elem}
+			cands[key] = c
+			order = append(order, key)
+		}
+		return c
+	}
+	for _, fd := range g.decls {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lsel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			owner, path, _ := g.typedPath(lsel)
+			if owner == nil || path == "" {
+				return true
+			}
+			elem := g.pointerSliceElem(g.p.typeOf(lsel))
+			if elem == nil {
+				return true
+			}
+			switch rhs := ast.Unparen(as.Rhs[0]).(type) {
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" || !g.p.isBuiltin(id) || len(rhs.Args) < 2 || rhs.Ellipsis != token.NoPos {
+					return true
+				}
+				if !g.samePath(rhs.Args[0], owner, path) {
+					return true
+				}
+				c := candFor(owner, path, elem)
+				rec := releaseRec{fd: fd, stmt: as}
+				if len(rhs.Args) == 2 {
+					if aid, ok := ast.Unparen(rhs.Args[1]).(*ast.Ident); ok {
+						rec.arg = g.p.objOf(aid)
+					}
+				}
+				c.releases = append(c.releases, rec)
+				c.releaseFns = appendFnOnce(c.releaseFns, fd)
+			case *ast.SliceExpr:
+				if !g.samePath(rhs.X, owner, path) {
+					return true
+				}
+				c := candFor(owner, path, elem)
+				c.acquireFns = appendFnOnce(c.acquireFns, fd)
+			}
+			return true
+		})
+	}
+
+	// Pass B: the tail-ops classifier. Every selector occurrence of a
+	// candidate field anywhere in the package must be freelist-shaped.
+	for _, key := range order {
+		c := cands[key]
+		if len(c.acquireFns) == 0 || len(c.releases) == 0 {
+			c.bad = true
+			continue
+		}
+		for _, fd := range g.decls {
+			if c.bad {
+				break
+			}
+			allowed := map[ast.Node]bool{}
+			badIndex := map[*ast.IndexExpr]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok != token.ASSIGN || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+						return true
+					}
+					lhs, rhs := ast.Unparen(n.Lhs[0]), ast.Unparen(n.Rhs[0])
+					if ix, ok := lhs.(*ast.IndexExpr); ok && g.samePath(ix.X, c.owner, c.path) {
+						// Storing nil into a slot (popped tail) is
+						// freelist-shaped; any other element store is not.
+						if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+							allowed[ast.Unparen(ix.X)] = true
+						} else {
+							badIndex[ix] = true
+						}
+						return true
+					}
+					if !g.samePath(lhs, c.owner, c.path) {
+						return true
+					}
+					switch r := rhs.(type) {
+					case *ast.CallExpr:
+						if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && id.Name == "append" && g.p.isBuiltin(id) &&
+							len(r.Args) >= 1 && g.samePath(r.Args[0], c.owner, c.path) {
+							allowed[lhs] = true
+							allowed[ast.Unparen(r.Args[0])] = true
+						}
+					case *ast.SliceExpr:
+						if g.samePath(r.X, c.owner, c.path) {
+							allowed[lhs] = true
+							allowed[ast.Unparen(r.X)] = true
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && g.p.isBuiltin(id) && len(n.Args) == 1 {
+						if g.samePath(n.Args[0], c.owner, c.path) {
+							allowed[ast.Unparen(n.Args[0])] = true
+						}
+					}
+				case *ast.IndexExpr:
+					if !badIndex[n] && g.samePath(n.X, c.owner, c.path) {
+						allowed[ast.Unparen(n.X)] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || c.bad {
+					return !c.bad
+				}
+				if g.samePath(sel, c.owner, c.path) && !allowed[sel] {
+					c.bad = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Marked types: forced pooled with a relaxed scan — any index read
+	// of a []*E field acquires, any append releases, no classifier.
+	marked := map[*types.Named]*poolInfo{}
+	for _, ts := range g.typeSpecs {
+		tn, ok := g.p.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok || !g.pooledMark[tn] {
+			continue
+		}
+		en, ok := tn.Type().(*types.Named)
+		if !ok || g.localNamedStruct(en) != en {
+			continue
+		}
+		marked[en] = &poolInfo{elem: en, marked: true, anchor: g.typeDeclPos[tn]}
+	}
+	if len(marked) > 0 {
+		for _, fd := range g.decls {
+			fd := fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IndexExpr:
+					elem := g.pointerSliceElem(g.p.typeOf(n.X))
+					if elem == nil {
+						return true
+					}
+					if pi := marked[elem]; pi != nil {
+						pi.acquireFns = appendFnOnce(pi.acquireFns, fd)
+					}
+				case *ast.CallExpr:
+					id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+					if !ok || id.Name != "append" || !g.p.isBuiltin(id) || len(n.Args) < 2 {
+						return true
+					}
+					elem := g.pointerSliceElem(g.p.typeOf(n.Args[0]))
+					if elem == nil {
+						return true
+					}
+					if pi := marked[elem]; pi != nil {
+						pi.releaseFns = appendFnOnce(pi.releaseFns, fd)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass C: group surviving candidates by element type.
+	byElem := map[*types.Named]*poolInfo{}
+	var elems []*types.Named
+	for _, key := range order {
+		c := cands[key]
+		if c.bad {
+			continue
+		}
+		pi := byElem[c.elem]
+		if pi == nil {
+			pi = &poolInfo{elem: c.elem}
+			byElem[c.elem] = pi
+			elems = append(elems, c.elem)
+		}
+		for _, fd := range c.acquireFns {
+			pi.acquireFns = appendFnOnce(pi.acquireFns, fd)
+		}
+		for _, fd := range c.releaseFns {
+			pi.releaseFns = appendFnOnce(pi.releaseFns, fd)
+		}
+		pi.releases = append(pi.releases, c.releases...)
+	}
+	for _, e := range elems {
+		pi := byElem[e]
+		pi.anchor = g.typeDeclPos[e.Obj()]
+		if len(pi.acquireFns) > 0 {
+			pi.anchor = pi.acquireFns[0].Name.Pos()
+		}
+		if m := marked[e]; m != nil {
+			// Structural evidence wins; the marker just confirms it.
+			delete(marked, e)
+		}
+		g.pools = append(g.pools, pi)
+	}
+	for _, ts := range g.typeSpecs {
+		tn, ok := g.p.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if en, ok := tn.Type().(*types.Named); ok {
+			if pi := marked[en]; pi != nil {
+				g.pools = append(g.pools, pi)
+				delete(marked, en)
+			}
+		}
+	}
+	sort.SliceStable(g.pools, func(i, j int) bool {
+		return g.pools[i].elem.Obj().Name() < g.pools[j].elem.Obj().Name()
+	})
+}
+
+// pointerSliceElem returns E when t is []*E with E a same-package named
+// struct, else nil.
+func (g *fieldGraph) pointerSliceElem(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	ptr, ok := sl.Elem().Underlying().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok || g.localNamedStruct(n) != n {
+		return nil
+	}
+	return n
+}
+
+// samePath reports whether e resolves to the field path on owner.
+func (g *fieldGraph) samePath(e ast.Expr, owner *types.Named, path string) bool {
+	n, p, _ := g.typedPath(ast.Unparen(e))
+	return n == owner && p == path
+}
+
+func appendFnOnce(list []*ast.FuncDecl, fd *ast.FuncDecl) []*ast.FuncDecl {
+	for _, f := range list {
+		if f == fd {
+			return list
+		}
+	}
+	return append(list, fd)
+}
+
+// ---------------------------------------------------------------------
+// Must-assign dataflow.
+
+// mustAssign returns the field paths of typ that fd definitely assigns
+// (through any variable of type typ / *typ in scope) on every
+// completing path. Memoized; recursion through method chasing is cut
+// with an in-flight guard that contributes nothing (conservative).
+func (g *fieldGraph) mustAssign(fd *ast.FuncDecl, typ *types.Named, mode int, excludeRecv bool) assignSet {
+	key := maKey{fd, typ, mode, excludeRecv}
+	if s, ok := g.memo[key]; ok {
+		return s
+	}
+	if g.inflight[key] {
+		return assignSet{}
+	}
+	g.inflight[key] = true
+	s := g.mustAssignUncached(fd, typ, mode, excludeRecv)
+	g.inflight[key] = false
+	g.memo[key] = s
+	return s
+}
+
+func (g *fieldGraph) mustAssignUncached(fd *ast.FuncDecl, typ *types.Named, mode int, excludeRecv bool) assignSet {
+	tracked := map[*types.Var]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := g.p.objOf(id); v != nil && g.localNamedStruct(v.Type()) == typ {
+			tracked[v] = true
+		}
+		return true
+	})
+	if excludeRecv && fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			for _, name := range fld.Names {
+				if v, ok := g.p.Info.Defs[name].(*types.Var); ok {
+					delete(tracked, v)
+				}
+			}
+		}
+	}
+	if len(tracked) == 0 {
+		return assignSet{}
+	}
+	w := &maWalk{g: g, typ: typ, mode: mode, tracked: tracked}
+	f := w.walkList(fd.Body.List, assignSet{})
+	if w.poisoned {
+		return assignSet{}
+	}
+	var sets []assignSet
+	if f.term == termNone {
+		sets = append(sets, f.set)
+	}
+	sets = append(sets, w.exits...)
+	if len(sets) == 0 {
+		return assignSet{}
+	}
+	return intersectSets(sets)
+}
+
+// Flow termination states.
+const (
+	termNone = iota // control continues to the next statement
+	termExit        // this path left (return/break/continue/panic)
+)
+
+// maFlow is the dataflow state at one program point.
+type maFlow struct {
+	set  assignSet
+	term int
+}
+
+// maWalk carries one must-assign traversal. exits accumulates the
+// assign set at every recorded path exit (returns; break/continue and
+// fallthrough are recorded too — their sets are a sound under-claim of
+// whatever the continuing path assigns). A panic exit is NOT recorded:
+// a panicking path never completes a recycle or snapshot. goto poisons
+// the whole function.
+type maWalk struct {
+	g        *fieldGraph
+	typ      *types.Named
+	mode     int
+	tracked  map[*types.Var]bool
+	exits    []assignSet
+	poisoned bool
+}
+
+func (w *maWalk) walkList(list []ast.Stmt, set assignSet) maFlow {
+	f := maFlow{set: set.clone(), term: termNone}
+	for _, s := range list {
+		if f.term != termNone {
+			break
+		}
+		f = w.stmt(s, f)
+	}
+	return f
+}
+
+func (w *maWalk) stmt(s ast.Stmt, f maFlow) maFlow {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt, *ast.DeclStmt, *ast.GoStmt, *ast.DeferStmt,
+		*ast.SendStmt, *ast.IncDecStmt:
+		// Opaque for coverage: declarations assign nothing tracked,
+		// goroutines/defers run elsewhere/later, ++/-- and compound ops
+		// are not a fresh overwrite.
+		return f
+	case *ast.BlockStmt:
+		inner := w.walkList(s.List, f.set)
+		return maFlow{set: inner.set, term: inner.term}
+	case *ast.AssignStmt:
+		w.assign(s, f.set)
+		return f
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && w.g.p.isBuiltin(id) {
+				f.term = termExit
+				return f
+			}
+			w.chase(call, f.set)
+		}
+		return f
+	case *ast.ReturnStmt:
+		w.exits = append(w.exits, f.set.clone())
+		f.term = termExit
+		return f
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			w.poisoned = true
+			f.term = termExit
+			return f
+		}
+		w.exits = append(w.exits, f.set.clone())
+		f.term = termExit
+		return f
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, f)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f = w.stmt(s.Init, f)
+		}
+		branches := []maFlow{w.walkList(s.Body.List, f.set)}
+		if s.Else != nil {
+			branches = append(branches, w.stmt(s.Else, maFlow{set: f.set.clone()}))
+		} else {
+			branches = append(branches, maFlow{set: f.set.clone()})
+		}
+		return w.merge(branches)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f = w.stmt(s.Init, f)
+		}
+		return w.switchBody(s.Body, f)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f = w.stmt(s.Init, f)
+		}
+		return w.switchBody(s.Body, f)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f = w.stmt(s.Init, f)
+		}
+		// The body may run zero times: it contributes nothing to the
+		// fall-through set, but is walked so its returns record exits.
+		w.walkList(s.Body.List, f.set)
+		return f
+	case *ast.RangeStmt:
+		if path, ok := w.rangeCovers(s); ok {
+			f.set[path] = true
+			return f
+		}
+		w.walkList(s.Body.List, f.set)
+		return f
+	case *ast.SelectStmt:
+		for _, cs := range s.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok {
+				w.walkList(cc.Body, f.set)
+			}
+		}
+		return f
+	}
+	return f
+}
+
+// merge intersects the branches that fall through; when none does, the
+// merged point is unreachable.
+func (w *maWalk) merge(branches []maFlow) maFlow {
+	var live []assignSet
+	for _, b := range branches {
+		if b.term == termNone {
+			live = append(live, b.set)
+		}
+	}
+	if len(live) == 0 {
+		return maFlow{set: assignSet{}, term: termExit}
+	}
+	return maFlow{set: intersectSets(live), term: termNone}
+}
+
+func (w *maWalk) switchBody(body *ast.BlockStmt, f maFlow) maFlow {
+	var branches []maFlow
+	hasDefault := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		branches = append(branches, w.walkList(cc.Body, f.set))
+	}
+	if !hasDefault || len(branches) == 0 {
+		// Without a default some value matches no case and skips the
+		// whole switch.
+		branches = append(branches, maFlow{set: f.set.clone()})
+	}
+	return w.merge(branches)
+}
+
+// assign records what one assignment statement definitely assigns.
+// Compound assignments (+=, |=, ...) read the old value and are not a
+// fresh overwrite.
+func (w *maWalk) assign(s *ast.AssignStmt, set assignSet) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		}
+		w.assignOne(ast.Unparen(lhs), rhs, set)
+	}
+}
+
+func (w *maWalk) assignOne(lhs, rhs ast.Expr, set assignSet) {
+	switch l := lhs.(type) {
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok && w.trackedIdent(id) {
+			w.wholeAssign(rhs, set)
+		}
+	case *ast.Ident:
+		if w.trackedIdent(l) && rhs != nil {
+			w.wholeAssign(rhs, set)
+		}
+	case *ast.SelectorExpr:
+		if path, ok := w.fieldPath(l); ok {
+			set[path] = true
+		}
+		// Writing x.F[i] assigns one element, not the field: no entry.
+	}
+}
+
+// wholeAssign classifies a whole-object right-hand side. Composite
+// literals split by mode: resetting to T{} zeroes everything ("" in
+// the set); snapshotting into T{a: x} copies only the keyed fields.
+// Rebinding a tracked pointer (x = pool[n-1], x = otherPtr) assigns
+// nothing; copying a whole value (out := *m) assigns everything.
+func (w *maWalk) wholeAssign(rhs ast.Expr, set assignSet) {
+	if rhs == nil {
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		rhs = ast.Unparen(ue.X)
+	}
+	switch r := rhs.(type) {
+	case *ast.CompositeLit:
+		w.litAssign(r, set)
+		return
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && id.Name == "new" && w.g.p.isBuiltin(id) {
+			if w.mode == modeReset && w.g.localNamedStruct(w.g.p.typeOf(r)) == w.typ {
+				set[""] = true
+			}
+		}
+		// Other call results are opaque: unknown field contents.
+		return
+	}
+	if t := w.g.p.typeOf(rhs); t != nil {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr && w.g.localNamedStruct(t) == w.typ {
+			set[""] = true
+		}
+	}
+}
+
+func (w *maWalk) litAssign(cl *ast.CompositeLit, set assignSet) {
+	if w.g.localNamedStruct(w.g.p.typeOf(cl)) != w.typ {
+		return
+	}
+	if w.mode == modeReset {
+		set[""] = true
+		return
+	}
+	if len(cl.Elts) == 0 {
+		return
+	}
+	keyed := false
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+		}
+	}
+	if !keyed {
+		// A positional literal is only legal with every field present.
+		set[""] = true
+	}
+}
+
+// fieldPath resolves a selector to a path on the tracked type through a
+// tracked base variable.
+func (w *maWalk) fieldPath(sel *ast.SelectorExpr) (string, bool) {
+	n, path, base := w.g.typedPath(sel)
+	if n != w.typ || path == "" || base == nil || !w.tracked[base] {
+		return "", false
+	}
+	return path, true
+}
+
+func (w *maWalk) trackedIdent(id *ast.Ident) bool {
+	v := w.g.p.objOf(id)
+	return v != nil && w.tracked[v]
+}
+
+// rangeCovers recognizes two whole-field loop idioms and credits the
+// field even for the zero-iteration case (an empty collection is
+// vacuously reset):
+//
+//	for i := range x.F { x.F[i] = v }   // clear every element
+//	for _, e := range x.F { e.Reset() } // delegate to element resets
+func (w *maWalk) rangeCovers(s *ast.RangeStmt) (string, bool) {
+	sel, ok := ast.Unparen(s.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	path, ok := w.fieldPath(sel)
+	if !ok || len(s.Body.List) != 1 {
+		return "", false
+	}
+	if s.Value == nil && s.Key != nil {
+		key, ok := s.Key.(*ast.Ident)
+		if !ok || key.Name == "_" {
+			return "", false
+		}
+		as, ok := s.Body.List[0].(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return "", false
+		}
+		ix, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr)
+		if !ok {
+			return "", false
+		}
+		lsel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		if lpath, ok := w.fieldPath(lsel); !ok || lpath != path {
+			return "", false
+		}
+		idx, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		kv, iv := w.g.p.objOf(key), w.g.p.objOf(idx)
+		if kv == nil || kv != iv {
+			return "", false
+		}
+		return path, true
+	}
+	if val, ok := s.Value.(*ast.Ident); ok && val.Name != "_" {
+		es, ok := s.Body.List[0].(*ast.ExprStmt)
+		if !ok {
+			return "", false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return "", false
+		}
+		fsel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (fsel.Sel.Name != "Reset" && fsel.Sel.Name != "reset") {
+			return "", false
+		}
+		recv, ok := ast.Unparen(fsel.X).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		rv, vv := w.g.p.objOf(recv), w.g.p.objOf(val)
+		if rv == nil || rv != vv {
+			return "", false
+		}
+		return path, true
+	}
+	return "", false
+}
+
+// chase follows a same-type method call on a tracked variable
+// (d.reset() inside Format) and credits everything the callee
+// must-assigns.
+func (w *maWalk) chase(call *ast.CallExpr, set assignSet) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || !w.trackedIdent(id) {
+		return
+	}
+	fn, ok := w.g.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	fd, ok := w.g.declOf[fn]
+	if !ok {
+		return
+	}
+	for k := range w.g.mustAssign(fd, w.typ, w.mode, false) { //afalint:allow maporder -- set union into a set; no ordering escapes
+		set[k] = true
+	}
+}

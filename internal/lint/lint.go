@@ -35,6 +35,14 @@
 //   - rngstream:      rng streams used in a runner.Map job are created
 //     inside the job closure and never escape it.
 //
+// Two further families run under their own flags: the afaperf hot-set
+// performance rules (`afalint -perf`, perf.go) and the state-integrity
+// rules (`afalint -state`, state.go/fieldgraph.go) — must-assign field
+// coverage for pooled objects, Reset() methods, and Snapshot()/Clone()
+// methods, plus the package-level-state and use-after-recycle checks
+// that protect per-job isolation and the planned snapshot/branch
+// machinery.
+//
 // A finding on a given line is suppressed by the directive
 //
 //	//afalint:allow <rule> [<rule>...] [-- reason]

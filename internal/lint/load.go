@@ -43,6 +43,9 @@ type Package struct {
 
 	// prog is the whole-program view Run sets before rules execute.
 	prog *Program
+	// fg is the lazily built field-graph view (fieldgraph.go) the state
+	// rule family consults.
+	fg *fieldGraph
 }
 
 // IsTestFile reports whether f came from a _test.go file.
@@ -187,9 +190,10 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		}
 	}
 	p.Info = &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	cfg := &types.Config{
 		Importer: l,

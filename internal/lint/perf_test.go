@@ -185,13 +185,16 @@ func TestEscapeFilterNarrowsHotalloc(t *testing.T) {
 	}
 }
 
-// TestPerfRuleMetadata keeps the family addressable by the suppression
-// directive and the generated docs: unique names, non-empty docs and
-// scopes — for the perf rules and, since the -doc table now carries a
-// scope column, for the determinism rules too.
+// TestPerfRuleMetadata keeps every family addressable by the
+// suppression directive and the generated docs: unique names,
+// non-empty docs and scopes — for the perf and state rules and, since
+// the -doc table carries a scope column, for the determinism rules
+// too.
 func TestPerfRuleMetadata(t *testing.T) {
 	seen := map[string]bool{}
-	for _, r := range append(AllRules(), PerfRules()...) {
+	all := append(AllRules(), PerfRules()...)
+	all = append(all, StateRules()...)
+	for _, r := range all {
 		if r.Name() == "" || r.Doc() == "" || r.Scope() == "" {
 			t.Errorf("rule %T has empty metadata", r)
 		}
@@ -200,8 +203,8 @@ func TestPerfRuleMetadata(t *testing.T) {
 		}
 		seen[r.Name()] = true
 	}
-	if len(seen) != 15 {
-		t.Errorf("expected 15 rules across both families, have %d", len(seen))
+	if len(seen) != 19 {
+		t.Errorf("expected 19 rules across the three families, have %d", len(seen))
 	}
 	for _, r := range PerfRules() {
 		if !strings.HasPrefix(r.Name(), "hot") {

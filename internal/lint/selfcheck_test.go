@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -51,5 +53,55 @@ func TestRepoObeysDeterminismContract(t *testing.T) {
 	if len(findings) > 0 {
 		t.Errorf("afalint: %d determinism-contract finding(s); fix the site or annotate it "+
 			"with //afalint:allow <rule> -- <reason> (see DESIGN.md, \"Determinism contract\")", len(findings))
+	}
+}
+
+// TestRepoObeysStateContract runs the state-integrity family
+// (`afalint -state`) over the entire module, filtered through the
+// accepted-debt ledger lint_state.baseline at the repo root — the same
+// gate CI runs. A new pooled type whose recycle path misses a field, a
+// Reset() that skips one, a partial Snapshot(), a package-level var in
+// sim-core, or a use-after-release fails `go test ./...` with the
+// exact file:line and field name. The ledger keeps pre-existing debts
+// visible without blocking the build; entries that stop matching are
+// stale and fail the test until deleted.
+func TestRepoObeysStateContract(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, modPath).LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same analysis-time budget as the determinism self-check: the field
+	// graph, pool scan, and must-assign dataflow must stay cheap enough
+	// for the inner edit-test loop.
+	start := time.Now() //afalint:allow wallclock -- timing guard on the analysis pass, not sim logic
+	findings := Run(pkgs, StateRules())
+	d := time.Since(start) //afalint:allow wallclock -- timing guard on the analysis pass, not sim logic
+	t.Logf("state-integrity analysis over %d packages took %v", len(pkgs), d)
+	if d > 10*time.Second {
+		t.Errorf("state-integrity analysis took %v; the self-check budget is 10s (DESIGN.md §5)", d)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "lint_state.baseline"))
+	if err != nil {
+		t.Fatalf("reading the state debt ledger: %v", err)
+	}
+	b, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed, stale := b.Filter(findings, root)
+	t.Logf("%d finding(s) covered by lint_state.baseline", suppressed)
+	for _, s := range stale {
+		t.Errorf("stale lint_state.baseline entry (fixed? delete it): %s", s)
+	}
+	for _, f := range kept {
+		t.Errorf("%s", f)
+	}
+	if len(kept) > 0 {
+		t.Errorf("afalint: %d state-integrity finding(s); fix the site, mark the field "+
+			"//afalint:sticky -- <reason>, or annotate //afalint:allow <rule> -- <reason> (DESIGN.md §10)", len(kept))
 	}
 }

@@ -1,0 +1,15 @@
+// Fixture for globalmut: package-level vars are findings in sim-core,
+// consts and blank conformance assignments are not, and the allow
+// directive records accepted debt.
+package fixture
+
+var labels = []string{"read", "write"} // want:globalmut
+
+var u, v = 1, 2 // want:globalmut want:globalmut
+
+const maxLabels = 2
+
+var _ = maxLabels
+
+//afalint:allow globalmut -- fixture: accepted debt
+var debt int

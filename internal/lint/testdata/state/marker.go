@@ -1,0 +1,30 @@
+// Fixture for the pooled marker: a ring-buffer reuse scheme the
+// structural freelist scan cannot see. The marker forces pool
+// treatment; data is never reinitialized on the acquire path, so the
+// finding lands on the type declaration.
+package fixture
+
+// carrier is reused through ring.slots without ever shrinking or
+// appending, so only the directive reveals the pooling.
+//
+//afalint:pooled -- ring reuse; no append/shrink pair for the scan
+type carrier struct { // want:resetcover
+	seq  int
+	data []byte
+}
+
+type ring struct {
+	slots []*carrier
+	next  int
+}
+
+func (r *ring) acquire() *carrier {
+	c := r.slots[r.next%len(r.slots)]
+	r.next++
+	c.seq = r.next
+	return c
+}
+
+func fill(c *carrier, b byte) {
+	c.data = append(c.data, b)
+}

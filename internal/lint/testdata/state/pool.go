@@ -1,0 +1,152 @@
+// Fixture for the pool-driven state rules: a freelist whose recycle
+// path misses a field (resetcover at the acquire function), a pool
+// cleaned by whole-object reset, a pool whose initialization lives in
+// its one caller (the intersection credit), use-after-release sites
+// (poolescape), and an annotated exemption.
+package fixture
+
+// leakyReq is pooled through leakyPool.free. The acquire path assigns
+// id, the release path clears done, and the only caller assigns cookie
+// on just one branch — so cookie can leak across reuses.
+type leakyReq struct {
+	id     int
+	cookie string
+	done   func()
+}
+
+type leakyPool struct {
+	free []*leakyReq
+}
+
+func (p *leakyPool) get(id int) *leakyReq { // want:resetcover
+	var r *leakyReq
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		r = &leakyReq{}
+	}
+	r.id = id
+	return r
+}
+
+func (p *leakyPool) put(r *leakyReq) {
+	r.done = nil
+	p.free = append(p.free, r)
+}
+
+func (p *leakyPool) run(id int, important bool, cb func()) {
+	r := p.get(id)
+	if important {
+		r.cookie = "hot"
+	}
+	r.done = cb
+	r.done()
+	p.put(r)
+}
+
+// cleanReq's release path resets the whole object, so every field is
+// covered no matter what the users scribble on it.
+type cleanReq struct {
+	id   int
+	data []byte
+}
+
+type cleanPool struct {
+	free []*cleanReq
+}
+
+func (p *cleanPool) get() *cleanReq {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &cleanReq{}
+}
+
+func (p *cleanPool) put(r *cleanReq) {
+	*r = cleanReq{}
+	p.free = append(p.free, r)
+}
+
+func (p *cleanPool) use(n int) {
+	r := p.get()
+	r.id = n
+	r.data = append(r.data, byte(n))
+	p.put(r)
+}
+
+// job's acquire function only hands the object out; its single caller
+// fully initializes it, which the caller-intersection credit accepts.
+type job struct {
+	kind int
+	size int64
+}
+
+type jobPool struct {
+	free []*job
+}
+
+func (p *jobPool) get() *job {
+	if n := len(p.free); n > 0 {
+		j := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return j
+	}
+	return &job{}
+}
+
+func (p *jobPool) put(j *job) {
+	p.free = append(p.free, j)
+}
+
+func (p *jobPool) submit(kind int, size int64) *job {
+	j := p.get()
+	j.kind = kind
+	j.size = size
+	return j
+}
+
+// escReq exercises poolescape: any use of the pointer after the append
+// that released it, including captures inside a closure.
+type escReq struct {
+	v int
+}
+
+type escPool struct {
+	free []*escReq
+}
+
+func (p *escPool) get() *escReq {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &escReq{}
+}
+
+func (p *escPool) releaseThenTouch(r *escReq) {
+	p.free = append(p.free, r)
+	r.v = 0 // want:poolescape
+}
+
+func (p *escPool) releaseThenCapture(r *escReq, sink func(func() int)) {
+	p.free = append(p.free, r)
+	sink(func() int { return r.v }) // want:poolescape
+}
+
+func (p *escPool) releaseLast(r *escReq) {
+	r.v = 0
+	p.free = append(p.free, r)
+}
+
+func (p *escPool) releaseThenPeek(r *escReq) int {
+	p.free = append(p.free, r)
+	return r.v //afalint:allow poolescape -- fixture: single-threaded peek right after release
+}

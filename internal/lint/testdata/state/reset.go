@@ -1,0 +1,97 @@
+// Fixture for resetcover on explicit Reset() methods: a missed field,
+// the range-clear and delegate-to-element idioms that do count, a
+// branch that skips a field, a sticky exemption, and an allow.
+package fixture
+
+// counterBank clears counts (range-clear idiom) and total but forgets
+// peak.
+type counterBank struct {
+	counts []int64
+	total  int64
+	peak   int64
+}
+
+func (b *counterBank) bump(v int64) {
+	b.counts[0] += v
+	b.total += v
+	if v > b.peak {
+		b.peak = v
+	}
+}
+
+func (b *counterBank) Reset() { // want:resetcover
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+	b.total = 0
+}
+
+// tub's high-water mark survives reset by design.
+type tub struct {
+	fill  int
+	spill int //afalint:sticky -- fixture: high-water mark survives reset
+}
+
+func (t *tub) add(v int) {
+	t.fill += v
+	if t.fill > t.spill {
+		t.spill = t.fill
+	}
+}
+
+func (t *tub) Reset() { t.fill = 0 }
+
+// latch clears count only on the path that does not return early; the
+// early return assigns armed alone, so count is not definite.
+type latch struct {
+	armed bool
+	count int
+}
+
+func (l *latch) trip() {
+	l.armed = true
+	l.count++
+}
+
+func (l *latch) Reset() { // want:resetcover
+	if l.count == 0 {
+		l.armed = false
+		return
+	}
+	l.count = 0
+	l.armed = false
+}
+
+// bankSet delegates to element resets (the second range idiom); the
+// vacuous zero-iteration case is accepted as covered.
+type bank struct {
+	n int64
+}
+
+func (b *bank) Reset() { b.n = 0 }
+
+func (b *bank) hit() { b.n++ }
+
+type bankSet struct {
+	banks []*bank
+}
+
+func (s *bankSet) grow() {
+	s.banks = append(s.banks, &bank{})
+}
+
+func (s *bankSet) Reset() {
+	for _, b := range s.banks {
+		b.Reset()
+	}
+}
+
+// residue documents an intentionally partial reset via the directive.
+type residue struct {
+	tail int
+}
+
+func (r *residue) leak() { r.tail++ }
+
+//afalint:allow resetcover -- fixture: intentional partial reset
+func (r *residue) Reset() {}

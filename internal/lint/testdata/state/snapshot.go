@@ -1,0 +1,66 @@
+// Fixture for snapshotcover: a keyed literal that misses a field, a
+// whole-value Clone that is fine, a built-up local that misses a
+// field, a return of stored state that proves nothing (and is
+// skipped), and an allow.
+package fixture
+
+type gauge struct {
+	val  int64
+	errs int64
+}
+
+func (g *gauge) touch() {
+	g.val++
+	g.errs++
+}
+
+func (g *gauge) Snapshot() gauge {
+	return gauge{val: g.val} // want:snapshotcover
+}
+
+func (g *gauge) Clone() gauge {
+	return gauge{val: g.val} //afalint:allow snapshotcover -- fixture: partial clone is intentional
+}
+
+// meter clones by whole-value copy: every field is covered at once.
+type meter struct {
+	a int
+	b int
+}
+
+func (m *meter) Clone() *meter {
+	out := *m
+	return &out
+}
+
+// prober builds the snapshot field by field and forgets y.
+type probe struct {
+	x int
+	y int
+}
+
+type prober struct {
+	p probe
+}
+
+func (pr *prober) Snapshot() probe {
+	out := probe{}
+	out.x = pr.p.x
+	return out // want:snapshotcover
+}
+
+// tracker returns stored state; the value was assembled elsewhere, so
+// the rule has nothing to prove at this return.
+type snapState struct {
+	n int
+}
+
+type tracker struct {
+	cur snapState
+}
+
+func (t *tracker) snapshot() snapState {
+	return t.cur
+}
+
+func mutateSnapState(s *snapState) { s.n++ }

@@ -158,7 +158,10 @@ type Device struct {
 	eng *sim.Engine
 	rnd *rng.Stream
 
-	dieFree []sim.Time // per-die next-free instant (plane-level parallelism folded in)
+	// Per-die next-free instant (plane-level parallelism folded in).
+	// Physical die occupancy, not FTL state: Format does not idle the
+	// dies, so reset leaves it alone by contract (TestFormatFieldPolicy).
+	dieFree []sim.Time //afalint:sticky -- physical die occupancy survives Format
 
 	// The FTL write path is initialized lazily: a FOB device running the
 	// paper's read-only methodology never allocates its block table
@@ -168,7 +171,9 @@ type Device struct {
 	blocks      []*block
 	freeList    []int
 	openBlock   []int // per-die currently open block, -1 if none
-	stats       Stats
+	// Counters are preserved across Format by contract (see Format's
+	// doc and TestFormatFieldPolicy), so reset must not zero them.
+	stats Stats //afalint:sticky -- counters survive Format by contract
 }
 
 type mapEntry struct {

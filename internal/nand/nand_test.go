@@ -1,6 +1,7 @@
 package nand
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -307,5 +308,80 @@ func TestPropertyMappingConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFormatFieldPolicy is the new-field tripwire for Device's reset
+// contract (afalint -state, resetcover): every field of Device must be
+// explicitly classified as either restored by Format (zeroed back to
+// the FOB state) or preserved across it (//afalint:sticky on the
+// declaration). Adding a field without deciding — and asserting — its
+// Format behavior fails this test, which is exactly the cross-run
+// state leak the state-integrity rules exist to prevent.
+func TestFormatFieldPolicy(t *testing.T) {
+	policy := map[string]string{
+		// Configuration and identity: Format does not reconfigure.
+		"Geom":   "preserved",
+		"Timing": "preserved",
+		"GC":     "preserved",
+		"eng":    "preserved",
+		"rnd":    "preserved",
+		// Physical die occupancy: Format does not idle the dies.
+		"dieFree": "preserved",
+		// Counters survive Format by documented contract.
+		"stats": "preserved",
+		// The FTL proper: back to FOB.
+		"initialized": "restored",
+		"mapping":     "restored",
+		"blocks":      "restored",
+		"freeList":    "restored",
+		"openBlock":   "restored",
+	}
+	dt := reflect.TypeOf(Device{})
+	for i := 0; i < dt.NumField(); i++ {
+		name := dt.Field(i).Name
+		if _, ok := policy[name]; !ok {
+			t.Errorf("Device field %s has no Format policy: decide whether Format restores or preserves it, assert that below, and add it to this map (and to reset() or //afalint:sticky)", name)
+		}
+	}
+	for name := range policy {
+		if _, ok := dt.FieldByName(name); !ok {
+			t.Errorf("Format policy lists %s but Device has no such field; delete the stale entry", name)
+		}
+	}
+
+	eng, d := newTiny(t)
+	for i := int64(0); i < 50; i++ {
+		d.Write(i)
+		eng.RunUntil(eng.Now().Add(sim.Millisecond))
+	}
+	d.Read(999) // bump UnmappedRead too
+	preStats := d.stats
+	preDieFree := append([]sim.Time(nil), d.dieFree...)
+	preGeom, preTiming, preGC := d.Geom, d.Timing, d.GC
+	preEng, preRnd := d.eng, d.rnd
+	if preStats.HostWrites == 0 || d.FOB() {
+		t.Fatalf("workload did not exercise the FTL: stats = %+v", preStats)
+	}
+
+	d.Format()
+
+	// Restored fields: byte-for-byte the FOB state.
+	if d.initialized || d.mapping != nil || d.blocks != nil || d.freeList != nil || d.openBlock != nil {
+		t.Errorf("Format left FTL state behind: initialized=%v mapping=%d blocks=%d freeList=%d openBlock=%d",
+			d.initialized, len(d.mapping), len(d.blocks), len(d.freeList), len(d.openBlock))
+	}
+	// Preserved fields: untouched.
+	if d.stats != preStats {
+		t.Errorf("Format changed stats: %+v -> %+v", preStats, d.stats)
+	}
+	if !reflect.DeepEqual(d.dieFree, preDieFree) {
+		t.Errorf("Format changed dieFree: %v -> %v", preDieFree, d.dieFree)
+	}
+	if d.Geom != preGeom || d.Timing != preTiming || d.GC != preGC {
+		t.Error("Format changed configuration (Geom/Timing/GC)")
+	}
+	if d.eng != preEng || d.rnd != preRnd {
+		t.Error("Format rebound the engine or rng stream")
 	}
 }

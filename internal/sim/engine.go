@@ -180,6 +180,13 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.canceled = true
 	e.removeAt(ev.index)
 	ev.index = -1
+	// Pooled pointers are never handed to callers, so a canceled pooled
+	// event can go straight back to the freelist. Pinned events keep fn:
+	// Reschedule on a canceled event re-arms with the same callback.
+	if ev.pooled {
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
 }
 
 // Reschedule moves a pending event to a new absolute instant. If the event
@@ -195,6 +202,13 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := e.popMin()
 		if ev.canceled {
+			// A pooled tombstone (canceled after Cancel's fast path already
+			// ran, or marked directly) is done for good: recycle it here so
+			// the closure isn't pinned until the slot's next reuse.
+			if ev.pooled {
+				ev.fn = nil
+				e.free = append(e.free, ev)
+			}
 			continue
 		}
 		if ev.when < e.now {
@@ -231,6 +245,12 @@ func (e *Engine) RunUntil(t Time) {
 		next := e.queue[0]
 		if next.canceled {
 			e.popMin()
+			// Same recycle as Step's tombstone drain: this loop discards
+			// canceled heads without going through Step.
+			if next.pooled {
+				next.fn = nil
+				e.free = append(e.free, next)
+			}
 			continue
 		}
 		if next.when > t {

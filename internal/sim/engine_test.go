@@ -426,3 +426,83 @@ func TestTimerRearmAtNowSupersedesOldDeadline(t *testing.T) {
 		t.Fatal("timer still armed after firing")
 	}
 }
+
+// TestPooledRecycleClearsFn is a white-box check of the freelist's
+// state-integrity contract (afalint -state, resetcover/poolescape):
+// every path that returns a pooled event to e.free must drop the fn
+// closure reference first, so captured memory is not pinned until the
+// next reuse, and push must reinitialize every field on reacquisition.
+func TestPooledRecycleClearsFn(t *testing.T) {
+	t.Run("fired", func(t *testing.T) {
+		e := NewEngine()
+		fired := false
+		e.Schedule(5, func() { fired = true })
+		if !e.Step() || !fired {
+			t.Fatal("pooled event did not fire")
+		}
+		if n := len(e.free); n != 1 {
+			t.Fatalf("freelist has %d events after fire, want 1", n)
+		}
+		if e.free[0].fn != nil {
+			t.Error("fired pooled event kept its fn reference on the freelist")
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		e := NewEngine()
+		// Pooled pointers are never handed out by the public API, so
+		// reach the tombstone path directly through push.
+		ev := e.push(5, func() {}, true)
+		e.Cancel(ev)
+		if n := len(e.free); n != 1 {
+			t.Fatalf("freelist has %d events after cancel, want 1", n)
+		}
+		if ev.fn != nil {
+			t.Error("canceled pooled event kept its fn reference on the freelist")
+		}
+		if e.Pending() != 0 {
+			t.Errorf("queue still holds %d events after cancel", e.Pending())
+		}
+	})
+	t.Run("tombstone in Step", func(t *testing.T) {
+		e := NewEngine()
+		ev := e.push(5, func() {}, true)
+		ev.canceled = true // simulate a tombstone Cancel's fast path missed
+		if e.Step() {
+			t.Fatal("Step fired a canceled event")
+		}
+		if n := len(e.free); n != 1 {
+			t.Fatalf("freelist has %d events after tombstone drain, want 1", n)
+		}
+		if ev.fn != nil {
+			t.Error("drained tombstone kept its fn reference on the freelist")
+		}
+	})
+	t.Run("tombstone in RunUntil", func(t *testing.T) {
+		e := NewEngine()
+		ev := e.push(5, func() {}, true)
+		ev.canceled = true
+		e.RunUntil(10)
+		if n := len(e.free); n != 1 {
+			t.Fatalf("freelist has %d events after tombstone drain, want 1", n)
+		}
+		if ev.fn != nil {
+			t.Error("drained tombstone kept its fn reference on the freelist")
+		}
+		if e.Now() != 10 {
+			t.Errorf("clock at %v after RunUntil(10)", e.Now())
+		}
+	})
+	t.Run("reacquire reinitializes", func(t *testing.T) {
+		e := NewEngine()
+		ev := e.push(5, func() {}, true)
+		e.Cancel(ev)
+		ev2 := e.push(7, func() {}, true)
+		if ev2 != ev {
+			t.Fatal("freelist did not hand back the recycled event")
+		}
+		if ev2.when != 7 || ev2.canceled || !ev2.pooled || ev2.fn == nil || ev2.index != 0 {
+			t.Errorf("recycled event not fully reinitialized: when=%v canceled=%v pooled=%v fn-nil=%v index=%d",
+				ev2.when, ev2.canceled, ev2.pooled, ev2.fn == nil, ev2.index)
+		}
+	})
+}

@@ -11,6 +11,11 @@
 #                  allocation, interface dispatch, defer, growth
 #                  append, or map traffic beyond the recorded debts
 #                  in lint_perf.baseline;
+#   afalint -state — the state-integrity contract (§10): pooled types,
+#                  Reset() methods, and Snapshot()/Clone() methods
+#                  must cover every mutable field, no package-level
+#                  vars in sim-core, no use-after-release of pooled
+#                  pointers, beyond the debts in lint_state.baseline;
 #   race+shuffle — the full suite once, under the race detector with
 #                  test order shuffled: the sim core is single-threaded
 #                  by contract and the runner tier merges in submission
@@ -36,6 +41,7 @@ go build ./...
 go vet ./...
 go run ./cmd/afalint ./...
 go run ./cmd/afalint -perf -baseline lint_perf.baseline ./...
+go run ./cmd/afalint -state -baseline lint_state.baseline ./...
 go test -race -shuffle=on ./...
 go test -race -count=1 -run 'TestParallelDeterminism|TestMap' ./internal/core/ ./internal/runner/
 go run ./cmd/afareport -ablate load -ssds 4 -runtime 40ms >/dev/null
