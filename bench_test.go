@@ -508,6 +508,43 @@ func updateEngineBench(b *testing.B, rows ...core.EngineBenchRow) {
 	}
 }
 
+// BenchmarkIOPathLatency is the acceptance benchmark for the
+// low-latency I/O-path tier (PR 10): the full 4-arm × 2-device grid
+// runs end-to-end, the per-arm mean latencies on the ULL device are
+// reported as ns/io metrics, and the three headline ULL rows
+// (iopath-ull-irq, iopath-ull-polling, iopath-ull-passthrough) land in
+// BENCH_engine.json with mean_lat_ns set, where scripts/bench-guard.sh
+// gates them per commit: these are simulated latencies, so unlike the
+// wall-clock rates they are machine-independent and any drift is a
+// model change, not noise.
+func BenchmarkIOPathLatency(b *testing.B) {
+	o := benchOpts()
+	var runs []core.IOPathRun
+	for i := 0; i < b.N; i++ {
+		runs = core.RunIOPathAblation(o)
+	}
+	var rows []core.EngineBenchRow
+	for _, r := range runs {
+		if r.Device != "ull" || r.Arm == "coalesced" {
+			continue
+		}
+		b.ReportMetric(r.Mean(), "ns/io-"+r.Arm)
+		rows = append(rows, core.EngineBenchRow{
+			Experiment: "iopath-ull-" + r.Arm,
+			NumSSDs:    o.NumSSDs,
+			IOs:        r.IOs,
+			MeanLatNs:  r.Mean(),
+		})
+	}
+	if len(rows) != 3 {
+		b.Fatalf("grid produced %d ULL headline rows, want 3", len(rows))
+	}
+	if testing.Verbose() {
+		core.WriteIOPathAblation(os.Stdout, runs)
+	}
+	updateEngineBench(b, rows...)
+}
+
 // addMuxTenants populates a multiplexer with the benchmark's tenant
 // mix — 20% latency-sensitive Poisson readers, 50% bursty MMPP readers,
 // 30% diurnal background writers — splitting the aggregate offered rate

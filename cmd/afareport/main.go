@@ -21,6 +21,7 @@
 //	afareport -ablate writes  # RMW write path: clean / degraded / +rebuild / +tolerance (hedged parity writes)
 //	afareport -ablate hedging # hedging policy: static quantile vs per-drive adaptive vs adaptive+budgets
 //	afareport -ablate load    # open-loop offered-load ladder: the load-vs-tail knee, with/without QoS admission
+//	afareport -ablate iopath  # low-latency I/O path: {irq, coalesced, polling, passthrough} × {flash, ull}
 //	afareport -all            # everything
 //
 // -ablation is accepted as an alias for -ablate.
@@ -60,7 +61,7 @@ func main() {
 		fig      = flag.String("fig", "", "figure number to regenerate (6-14)")
 		table    = flag.Int("table", 0, "table number to regenerate (1 or 2)")
 		headline = flag.Bool("headline", false, "check the abstract's ×8/×400 claim")
-		ablate   = flag.String("ablate", "", "ablation: fw | poll | used | future | coalesce | tail | pts | faults | recovery | writes | hedging | load")
+		ablate   = flag.String("ablate", "", "ablation: fw | poll | used | future | coalesce | tail | pts | faults | recovery | writes | hedging | load | iopath")
 		ablation = flag.String("ablation", "", "alias for -ablate")
 		all      = flag.Bool("all", false, "regenerate everything")
 		runtime  = flag.Duration("runtime", 2*time.Second, "simulated runtime per FIO instance (paper: 120s)")
@@ -102,7 +103,7 @@ func main() {
 		runTable(1)
 		runTable(2)
 		runHeadline(o)
-		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts", "faults", "recovery", "writes", "hedging", "load"} {
+		for _, a := range []string{"fw", "poll", "used", "future", "coalesce", "tail", "pts", "faults", "recovery", "writes", "hedging", "load", "iopath"} {
 			runAblation(a, o)
 		}
 		return
@@ -357,8 +358,16 @@ func runAblation(kind string, o core.ExpOptions) {
 			sweep := core.RunSeedSweep(o, sweepSeeds, core.RunLoadLadder)
 			core.WriteComparisonTable(os.Stdout, append(sweep, core.MergeSweep("pooled", sweep)))
 		}
+	case "iopath":
+		banner("Extension: low-latency I/O path — {irq, coalesced, polling, passthrough} × {flash, ull}")
+		core.WriteIOPathAblation(os.Stdout, core.RunIOPathAblation(o))
+		if sweepSeeds > 1 {
+			fmt.Printf("\null passthrough per-SSD ladders, %d-seed sweep (pooled last):\n", sweepSeeds)
+			sweep := core.RunSeedSweep(o, sweepSeeds, core.RunIOPathLadder)
+			core.WriteComparisonTable(os.Stdout, append(sweep, core.MergeSweep("pooled", sweep)))
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts, faults, recovery, writes, hedging, load)\n", kind)
+		fmt.Fprintf(os.Stderr, "unknown ablation %q (have fw, poll, used, future, coalesce, tail, pts, faults, recovery, writes, hedging, load, iopath)\n", kind)
 		os.Exit(2)
 	}
 	wallBanner(t0)

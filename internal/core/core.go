@@ -65,6 +65,15 @@ type Config struct {
 	// deadlines (raid.Tolerance.Adaptive) and the overload/budget coupling
 	// in TimeoutPolicy.
 	Health bool
+	// Device selects the SSD speed class for the whole fleet (extension;
+	// the zero value is the paper's Table I flash device, nvme.ClassULL
+	// the Z-NAND-class ultra-low-latency part).
+	Device nvme.DeviceClass
+	// Passthrough gives every workload job a tenant-owned SQ/CQ pair,
+	// bypassing the kernel tier entirely (extension; see
+	// fio.JobSpec.Passthrough). The kernel's timeout/retry machinery
+	// never sees passthrough I/O, whatever Timeout says.
+	Passthrough bool
 }
 
 // Default is the Section IV-A stock configuration.
@@ -252,7 +261,19 @@ func NewSystem(opt Options) *System {
 		AutoIsolateIOBound: cfg.AutoIsolate,
 	})
 
-	fab := pcie.NewFabric(eng, pcie.Options{NumSSDs: opt.NumSSDs})
+	popt := pcie.Options{NumSSDs: opt.NumSSDs}
+	if cfg.Device == nvme.ClassULL {
+		// A ULL fleet implies a ULL-era interconnect: same two-level
+		// topology, but Gen4 signaling and cut-through switch silicon
+		// (~250 ns/hop) instead of the 2016 store-and-forward Gen3
+		// parts. Nobody deploys a ~3 µs device behind a 5 µs fabric:
+		// the fixed round trip drops to 1 µs, and the doubled lane rate
+		// keeps the shared uplink out of the queueing regime at the
+		// IOPS a 64-device ULL fleet sustains.
+		popt.HopLatency = 250 * sim.Nanosecond
+		popt.BytesPerLanePerSec = pcie.Gen4BytesPerLanePerSec
+	}
+	fab := pcie.NewFabric(eng, popt)
 
 	fw := nvme.DefaultFirmware()
 	fw.Kind = cfg.Firmware
@@ -263,6 +284,7 @@ func NewSystem(opt Options) *System {
 	for i := range ssds {
 		ssds[i] = nvme.New(eng, nvme.Config{
 			ID: i, Fabric: fab, Geom: opt.Geom, FW: fw, Seed: opt.Seed,
+			Class: cfg.Device,
 		})
 	}
 

@@ -154,6 +154,12 @@ type EngineBenchRow struct {
 	// closed-loop rows.
 	Arrivals       int64   `json:"arrivals,omitempty"`
 	ArrivalsPerSec float64 `json:"arrivals_per_sec,omitempty"`
+	// MeanLatNs is the mean simulated completion latency of the row's
+	// workload in nanoseconds — set by the I/O-path rows
+	// (BenchmarkIOPathLatency), where the figure under guard is the
+	// latency itself rather than a wall-clock rate. Zero (omitted) for
+	// throughput rows.
+	MeanLatNs float64 `json:"mean_lat_ns,omitempty"`
 }
 
 // WriteEngineBenchJSON emits the engine-throughput summary as indented

@@ -21,7 +21,8 @@ func sweepOpts() ExpOptions {
 // (Fig 13, including the solo-run merge), the mixed baseline+client
 // fan-out (tail-at-scale), the three-arm fault ablation, the four-arm
 // write ablation (rebuild stream included), the three-arm hedging
-// ablation (health trackers included), the open-loop load ablation
+// ablation (health trackers included), the I/O-path grid (four
+// completion paths × two device classes), the open-loop load ablation
 // (capacity probe plus the rung × arm grid), and a seed sweep. The
 // exported bytes are the reproducibility contract.
 func exportFanOuts(t *testing.T, o ExpOptions) []byte {
@@ -85,6 +86,17 @@ func exportFanOuts(t *testing.T, o ExpOptions) []byte {
 		ladders := []stats.Ladder{hr.Ladder}
 		if err := WriteDistributionJSON(&buf, Distribution{
 			Config: hr.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ir := range RunIOPathAblation(o) {
+		fmt.Fprintf(&buf, "%s ios=%d errors=%d retried=%d timedout=%d pollspins=%d irqs=%d busy=%d\n",
+			ir.Name, ir.IOs, ir.Errors, ir.Retried, ir.TimedOut,
+			ir.PollSpins, ir.LocalIRQs+ir.RemoteIRQs, ir.BusyNs)
+		ladders := []stats.Ladder{ir.Ladder}
+		if err := WriteDistributionJSON(&buf, Distribution{
+			Config: ir.Name, Ladders: ladders, Summary: stats.Summarize(ladders),
 		}); err != nil {
 			t.Fatal(err)
 		}

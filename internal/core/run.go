@@ -75,6 +75,7 @@ func (s *System) RunFIO(spec RunSpec) []*fio.Result {
 			Class:       s.Config.FIOClass,
 			RTPrio:      s.Config.FIORTPrio,
 			Phases:      spec.Phases,
+			Passthrough: s.Config.Passthrough,
 			Seed:        s.Seed ^ uint64(ssd)<<32,
 		}
 		if ssd < spec.LatLogSSDs {

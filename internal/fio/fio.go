@@ -56,7 +56,14 @@ type JobSpec struct {
 	// Phases enables per-I/O latency decomposition (blktrace-style; see
 	// PhaseReport).
 	Phases bool
-	Seed   uint64
+	// Passthrough gives the job a tenant-owned NVMe SQ/CQ pair and
+	// bypasses the kernel tier entirely (SPDK-style): submits are
+	// userspace doorbell writes, completions are reaped by spinning on
+	// the job's own CQ. No kernel software latency — and no kernel
+	// timeout/retry protection: error statuses and firmware stalls
+	// surface raw in the job's results.
+	Passthrough bool
+	Seed        uint64
 }
 
 // Validate rejects specs that cannot describe a runnable job. It is
@@ -128,7 +135,11 @@ type Result struct {
 	// host-side timeout.
 	Retried  int64
 	TimedOut int64
-	Runtime  sim.Duration
+	// PollSpins counts CQ poll iterations (polling and passthrough modes):
+	// together with Costs.PollCheck it is the host-CPU burn the latency
+	// win was bought with.
+	PollSpins int64
+	Runtime   sim.Duration
 }
 
 // IOPS reports the job's achieved I/O rate. A job that recorded no
@@ -173,6 +184,12 @@ type Job struct {
 	done      bool
 	onDone    func(*Result)
 
+	// qp is the tenant-owned queue pair (passthrough jobs only); spin
+	// caches whether the job reaps by spinning (passthrough, or kernel
+	// polling mode) rather than sleeping on interrupt wakes.
+	qp   *nvme.QueuePair
+	spin bool
+
 	// per-I/O bookkeeping for the completion burst
 	pending []kernel.Completion
 
@@ -180,6 +197,7 @@ type Job struct {
 	// and the submit/complete/reap cycle evaluates one per I/O; bind them
 	// once instead.
 	onCompleteFn func(kernel.Completion)
+	onQPResultFn func(nvme.Result)
 	reapFn       func()
 	submitFn     func()
 	pollSpinFn   func()
@@ -217,7 +235,12 @@ func New(eng *sim.Engine, k *kernel.Kernel, spec JobSpec) *Job {
 	}
 	j.task = k.Sched.NewTask("fio/"+spec.Name, spec.Class, prio, spec.CPUsAllowed)
 	j.pending = make([]kernel.Completion, 0, spec.IODepth)
+	if spec.Passthrough {
+		j.qp = k.SSDs[spec.SSD].CreateQueuePair()
+	}
+	j.spin = spec.Passthrough || k.Mode() == kernel.CompletePolling
 	j.onCompleteFn = j.onComplete
+	j.onQPResultFn = j.onQPResult
 	j.reapFn = j.reap
 	j.submitFn = j.submitWindow
 	j.pollSpinFn = j.pollSpin
@@ -248,6 +271,10 @@ func (j *Job) Start(onDone func(*Result)) {
 }
 
 func (j *Job) submitCost(n int) sim.Duration {
+	if j.spec.Passthrough {
+		// Userspace doorbell write: no syscall, no blk-mq.
+		return sim.Duration(n) * j.k.Costs().UserSubmit
+	}
 	return sim.Duration(n) * j.k.Costs().Submit
 }
 
@@ -278,15 +305,27 @@ func (j *Job) opcode() nvme.Opcode {
 func (j *Job) submitWindow() {
 	now := j.eng.Now()
 	if now >= j.deadline {
+		if j.spin && j.inflight > 0 {
+			// A spinning job has no interrupt wake coming: keep polling
+			// until the in-flight tail drains.
+			j.task.Exec(j.k.Costs().PollCheck, j.pollSpinFn)
+			return
+		}
 		j.finishIfDrained()
 		return
 	}
 	for j.inflight < j.spec.IODepth {
 		j.inflight++
 		cmd := nvme.Command{Op: j.opcode(), LBA: j.nextLBA(), Bytes: j.spec.BS}
-		j.k.SubmitIO(j.task.CPU(), j.spec.SSD, cmd, j.onCompleteFn)
+		if j.qp != nil {
+			// Passthrough: ring the tenant-owned doorbell; the kernel
+			// never sees this command.
+			j.qp.Submit(cmd, j.onQPResultFn)
+		} else {
+			j.k.SubmitIO(j.task.CPU(), j.spec.SSD, cmd, j.onCompleteFn)
+		}
 	}
-	if j.k.Mode() == kernel.CompletePolling {
+	if j.spin {
 		// Spin on the CQ instead of sleeping: the latency win and the CPU
 		// burn of polling both fall out of this loop.
 		j.task.Exec(j.k.Costs().PollCheck, j.pollSpinFn)
@@ -310,13 +349,30 @@ func (j *Job) reapCost(n int) sim.Duration {
 	return cost
 }
 
-// pollSpin is one CQ poll iteration in polling mode.
+// pollSpin is one CQ poll iteration (kernel polling mode, or a
+// passthrough job spinning on its own CQ).
 func (j *Job) pollSpin() {
+	j.res.PollSpins++
 	if len(j.pending) > 0 {
-		j.task.Exec(sim.Duration(len(j.pending))*j.k.Costs().Complete, j.reapFn)
+		per := j.k.Costs().Complete
+		if j.spec.Passthrough {
+			per = j.k.Costs().UserComplete
+		}
+		j.task.Exec(sim.Duration(len(j.pending))*per, j.reapFn)
 		return
 	}
 	j.task.Exec(j.k.Costs().PollCheck, j.pollSpinFn)
+}
+
+// onQPResult is a passthrough CQE landing in the tenant-owned CQ: no
+// interrupt, no kernel — the spinning thread finds it on its next poll
+// iteration. The raw device status passes straight through.
+func (j *Job) onQPResult(res nvme.Result) {
+	j.pending = append(j.pending, kernel.Completion{
+		Result:      res,
+		DeliveredAt: j.eng.Now(),
+		Status:      res.Status,
+	})
 }
 
 // onComplete runs in softirq context on the delivery CPU (or inline in
@@ -373,6 +429,11 @@ func (j *Job) reap() {
 	}
 	j.pending = j.pending[:0]
 	if now >= j.deadline {
+		if j.spin && j.inflight > 0 {
+			// Keep spinning for the in-flight tail; no wake is coming.
+			j.task.Exec(j.k.Costs().PollCheck, j.pollSpinFn)
+			return
+		}
 		j.finishIfDrained()
 		return
 	}

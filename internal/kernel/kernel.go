@@ -43,6 +43,13 @@ type Costs struct {
 	// LatLogRecord is the extra per-I/O cost of fio latency logging
 	// (footnote 1: logging on all 64 SSDs perturbed the measurement).
 	LatLogRecord sim.Duration
+	// UserSubmit is the CPU cost of ringing a passthrough queue pair's
+	// doorbell from userspace: build the SQE, MMIO write. No syscall, no
+	// blk-mq — this is the whole host submit path in passthrough mode.
+	UserSubmit sim.Duration
+	// UserComplete is the CPU cost of reaping one CQE from a tenant-owned
+	// CQ in userspace (phase check + bookkeeping).
+	UserComplete sim.Duration
 }
 
 // DefaultCosts returns calibrated host path costs.
@@ -52,6 +59,8 @@ func DefaultCosts() Costs {
 		Complete:     1200 * sim.Nanosecond,
 		PollCheck:    300 * sim.Nanosecond,
 		LatLogRecord: 900 * sim.Nanosecond,
+		UserSubmit:   250 * sim.Nanosecond,
+		UserComplete: 150 * sim.Nanosecond,
 	}
 }
 
@@ -95,6 +104,10 @@ type Kernel struct {
 	// freeReqs recycles per-I/O completion carriers (see kioReq); a plain
 	// slice keeps reuse order deterministic.
 	freeReqs []*kioReq
+	// freeMng / freeAtt recycle the managed-path carriers (see mngReq and
+	// attReq in timeout.go).
+	freeMng []*mngReq
+	freeAtt []*attReq
 
 	// tick-work model state
 	tickRnd *rng.Stream

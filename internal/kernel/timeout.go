@@ -140,10 +140,106 @@ func (k *Kernel) Timeout() TimeoutPolicy { return k.timeout }
 // without the abort; permanent errors and successes are delivered with
 // the retry count. A CQE arriving after its attempt was abandoned (the
 // abort racing a late completion) is counted and dropped.
+//
+// State rides on two pooled carriers instead of per-attempt closures
+// (which were the managed path's dominant allocation sites): mngReq holds
+// the per-command state for the whole retry chain, attReq the per-attempt
+// race between the deadline timer and the CQE.
 func (k *Kernel) submitManaged(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) {
-	first := k.eng.Now()
+	m := k.getMng(submitCPU, ssd, cmd, done)
 	k.noteInflight(1)
-	k.submitAttempt(submitCPU, ssd, cmd, 0, first, done)
+	m.issue()
+}
+
+// mngReq is the per-command managed-path carrier: it lives from SubmitIO
+// until the completion (or final failure) is surfaced, across every retry.
+type mngReq struct {
+	k         *Kernel
+	submitCPU int
+	ssd       int
+	cmd       nvme.Command
+	attempt   int
+	first     sim.Time
+	done      func(Completion)
+
+	retryFn func() // bound once: re-issue after backoff
+}
+
+// attReq is the per-attempt carrier racing the deadline timer against the
+// device CQE. It is released when its CQE arrives — even a late one after
+// the attempt was abandoned — mirroring submitOnce's rule that a carrier
+// whose CQE never comes (offline drop) is simply garbage.
+type attReq struct {
+	k *Kernel
+	m *mngReq
+
+	settled  bool       // the race is decided (timeout or completion)
+	aborting bool       // timeout fired, abort round-trip still pending
+	lateDone bool       // CQE arrived while the abort was pending
+	timer    *sim.Event // deadline, canceled on completion
+
+	timeoutFn func()
+	abortFn   func()
+	onCompFn  func(Completion)
+}
+
+func (k *Kernel) getMng(submitCPU, ssd int, cmd nvme.Command, done func(Completion)) *mngReq {
+	var m *mngReq
+	if n := len(k.freeMng); n > 0 {
+		m = k.freeMng[n-1]
+		k.freeMng[n-1] = nil
+		k.freeMng = k.freeMng[:n-1]
+	} else {
+		m = &mngReq{k: k}   //afalint:allow hotalloc -- freelist miss only; amortized across carrier reuses
+		m.retryFn = m.issue //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+	}
+	m.submitCPU = submitCPU
+	m.ssd = ssd
+	m.cmd = cmd
+	m.attempt = 0
+	m.first = k.eng.Now()
+	m.done = done
+	return m
+}
+
+func (k *Kernel) putMng(m *mngReq) {
+	m.done = nil
+	k.freeMng = append(k.freeMng, m)
+}
+
+func (k *Kernel) getAtt(m *mngReq) *attReq {
+	var a *attReq
+	if n := len(k.freeAtt); n > 0 {
+		a = k.freeAtt[n-1]
+		k.freeAtt[n-1] = nil
+		k.freeAtt = k.freeAtt[:n-1]
+	} else {
+		a = &attReq{k: k}       //afalint:allow hotalloc -- freelist miss only; amortized across carrier reuses
+		a.timeoutFn = a.timeout //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		a.abortFn = a.abort     //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+		a.onCompFn = a.onComp   //afalint:allow hotalloc -- stage callback bound once per pooled carrier
+	}
+	a.m = m
+	a.settled = false
+	a.aborting = false
+	a.lateDone = false
+	a.timer = nil
+	return a
+}
+
+func (k *Kernel) putAtt(a *attReq) {
+	a.m = nil
+	a.timer = nil
+	k.freeAtt = append(k.freeAtt, a)
+}
+
+// issue starts one attempt: arm the deadline, ring the doorbell. It is
+// also the bound backoff-retry callback (m.retryFn).
+func (m *mngReq) issue() {
+	k := m.k
+	a := k.getAtt(m)
+	a.timer = k.eng.After(k.attemptTimeout(), a.timeoutFn)
+	k.submitOnce(m.submitCPU, m.ssd, m.cmd, a.onCompFn)
 }
 
 // attemptTimeout is the effective per-attempt deadline: the policy's
@@ -204,101 +300,128 @@ type retryBucket struct {
 	last   sim.Time // refill clock, advanced by whole tokens only
 }
 
-func (k *Kernel) submitAttempt(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, done func(Completion)) {
-	settled := false
-	var timer *sim.Event
-	timer = k.eng.After(k.attemptTimeout(), func() {
-		if settled {
-			return
-		}
-		settled = true
-		k.iostats.Timeouts++
-		k.iostats.Aborts++
-		if cmd.Op == nvme.OpWrite {
-			k.iostats.WriteTimeouts++
-		}
-		if k.health != nil {
-			k.health.ObserveTimeout(ssd)
-		}
-		// Abort admin round-trip, then retry or surface the failure. The
-		// aborted attempt's CQE, should it still arrive, is dropped above.
-		k.eng.Schedule(k.timeout.AbortCost, func() {
-			failed := Completion{
-				Result: nvme.Result{
-					Cmd: cmd, SubmittedAt: first, Status: nvme.StatusAborted,
-				},
-				Status:   nvme.StatusAborted,
-				TimedOut: true,
-			}
-			k.retryOrFail(submitCPU, ssd, cmd, attempt, first, failed, done)
-		})
+// timeout is the attempt's deadline firing: count, abort, then (after the
+// abort round-trip) retry or surface. The aborted attempt's CQE, should it
+// still arrive, is dropped in onComp.
+func (a *attReq) timeout() {
+	if a.settled {
+		return
+	}
+	a.settled = true
+	a.aborting = true
+	k, m := a.k, a.m
+	k.iostats.Timeouts++
+	k.iostats.Aborts++
+	if m.cmd.Op == nvme.OpWrite {
+		k.iostats.WriteTimeouts++
+	}
+	if k.health != nil {
+		k.health.ObserveTimeout(m.ssd)
+	}
+	k.eng.Schedule(k.timeout.AbortCost, a.abortFn)
+}
+
+// abort is the admin Abort round-trip completing. The attempt carrier can
+// only be released here if its late CQE already arrived; otherwise it must
+// stay out of the freelist until the CQE shows up (or never does).
+func (a *attReq) abort() {
+	k, m := a.k, a.m
+	a.aborting = false
+	if a.lateDone {
+		k.putAtt(a)
+	} else {
+		// The device may still post this attempt's CQE much later, after m
+		// has moved on (or been recycled): drop the back-pointer now so the
+		// straggler only touches per-attempt state.
+		a.m = nil
+	}
+	m.retryOrFail(Completion{
+		Result: nvme.Result{
+			Cmd: m.cmd, SubmittedAt: m.first, Status: nvme.StatusAborted,
+		},
+		Status:   nvme.StatusAborted,
+		TimedOut: true,
 	})
-	k.submitOnce(submitCPU, ssd, cmd, func(comp Completion) {
-		if settled {
-			// The abort raced a completion that was already in flight.
-			k.iostats.LateCompletions++
+}
+
+// onComp is the attempt's CQE landing on the host.
+func (a *attReq) onComp(comp Completion) {
+	k := a.k
+	if a.settled {
+		// The abort raced a completion that was already in flight.
+		k.iostats.LateCompletions++
+		if a.aborting {
+			// The abort round-trip still needs this carrier; it releases it.
+			a.lateDone = true
 			return
 		}
-		settled = true
-		k.eng.Cancel(timer)
-		if k.health != nil {
-			// Per-attempt service latency: Result.SubmittedAt is still
-			// this attempt's submit instant (overwritten with first only
-			// on delivery below), so backoff gaps don't pollute the EWMA.
-			k.health.Observe(ssd, k.eng.Now().Sub(comp.Result.SubmittedAt), comp.Status)
-		}
-		if comp.Status.Retryable() {
-			k.iostats.TransientErrors++
-			k.retryOrFail(submitCPU, ssd, cmd, attempt, first, comp, done)
-			return
-		}
-		if comp.Status == nvme.StatusMediaError {
-			k.iostats.MediaErrors++
-		}
-		// End-to-end latency spans every attempt: report the first
-		// submission instant, not the final attempt's.
-		comp.Result.SubmittedAt = first
-		comp.Retries = attempt
-		k.noteInflight(-1)
-		done(comp)
-	})
+		k.putAtt(a)
+		return
+	}
+	a.settled = true
+	k.eng.Cancel(a.timer)
+	m := a.m
+	k.putAtt(a)
+	if k.health != nil {
+		// Per-attempt service latency: Result.SubmittedAt is still
+		// this attempt's submit instant (overwritten with first only
+		// on delivery below), so backoff gaps don't pollute the EWMA.
+		k.health.Observe(m.ssd, k.eng.Now().Sub(comp.Result.SubmittedAt), comp.Status)
+	}
+	if comp.Status.Retryable() {
+		k.iostats.TransientErrors++
+		m.retryOrFail(comp)
+		return
+	}
+	if comp.Status == nvme.StatusMediaError {
+		k.iostats.MediaErrors++
+	}
+	m.deliver(comp)
+}
+
+// deliver surfaces the final outcome and retires the command carrier.
+func (m *mngReq) deliver(comp Completion) {
+	k := m.k
+	// End-to-end latency spans every attempt: report the first
+	// submission instant, not the final attempt's.
+	comp.Result.SubmittedAt = m.first
+	comp.Retries = m.attempt
+	k.noteInflight(-1)
+	done := m.done
+	k.putMng(m)
+	done(comp)
 }
 
 // retryOrFail re-issues the command after backoff, or surfaces failed
 // when attempts are exhausted — or immediately when the drive's retry
 // budget is, so a dying drive sheds its retry storm to the RAID layer's
 // reconstruction path instead of amplifying load.
-func (k *Kernel) retryOrFail(submitCPU, ssd int, cmd nvme.Command, attempt int, first sim.Time, failed Completion, done func(Completion)) {
-	if attempt >= k.timeout.MaxRetries {
+func (m *mngReq) retryOrFail(failed Completion) {
+	k := m.k
+	if m.attempt >= k.timeout.MaxRetries {
 		k.iostats.Exhausted++
-		if cmd.Op == nvme.OpWrite {
+		if m.cmd.Op == nvme.OpWrite {
 			k.iostats.WriteExhausted++
 		}
-		failed.Result.SubmittedAt = first
-		failed.Retries = attempt
 		failed.DeliveredAt = k.eng.Now()
-		k.noteInflight(-1)
-		done(failed)
+		m.deliver(failed)
 		return
 	}
-	if k.retryBuckets != nil && !k.takeRetryToken(ssd) {
+	if k.retryBuckets != nil && !k.takeRetryToken(m.ssd) {
 		k.iostats.RetryBudgetExhausted++
 		k.iostats.ShedToReconstruct++
-		failed.Result.SubmittedAt = first
-		failed.Retries = attempt
 		failed.DeliveredAt = k.eng.Now()
-		k.noteInflight(-1)
-		done(failed)
+		m.deliver(failed)
 		return
 	}
 	k.iostats.Retries++
-	if cmd.Op == nvme.OpWrite {
+	if m.cmd.Op == nvme.OpWrite {
 		k.iostats.WriteRetries++
 	}
 	if k.health != nil {
-		k.health.ObserveRetry(ssd)
+		k.health.ObserveRetry(m.ssd)
 	}
-	k.eng.Schedule(k.timeout.backoffFor(attempt), func() {
-		k.submitAttempt(submitCPU, ssd, cmd, attempt+1, first, done)
-	})
+	backoff := k.timeout.backoffFor(m.attempt)
+	m.attempt++
+	k.eng.Schedule(backoff, m.retryFn)
 }

@@ -64,6 +64,14 @@ var hotAnchors = []hotSpec{
 	// path, anchored so its callees carry a direct provenance chain.
 	{"fio", "Multiplexer", "tickSlot"},
 	{"fio", "Multiplexer", "submitArrival"},
+	// The low-latency tier's per-I/O entry points (PR 10): the CQ poll
+	// spin loop (runs once per PollCheck quantum while any spin-mode job
+	// has I/O in flight) and the tenant-owned queue pair's userspace
+	// submit path. Both would be rooted transitively, but anchoring them
+	// keeps the whole polling/passthrough path hot even if the engine
+	// wiring above them changes.
+	{"fio", "Job", "pollSpin"},
+	{"nvme", "QueuePair", "Submit"},
 }
 
 // hotSchedulers are the primitives that accept a callback which later

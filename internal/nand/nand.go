@@ -123,6 +123,25 @@ func MLC3DTiming() Timing {
 	}
 }
 
+// ZNANDTiming returns timing for a Z-NAND-class ultra-low-latency device
+// ("Faster than Flash": SLC-mode cells, short wordlines, ~3 µs reads).
+// A 4 KiB random read costs ~2.7 µs inside the device; the slimmed ULL
+// controller path (nvme.SpecZNAND) adds ~1 µs more. At this scale the
+// host software stack — not the media — dominates end-to-end latency,
+// which is the regime where the 2018 paper's tunings invert.
+func ZNANDTiming() Timing {
+	return Timing{
+		ReadPage:    1700 * sim.Nanosecond,
+		ProgramPage: 100 * sim.Microsecond,
+		EraseBlock:  1 * sim.Millisecond,
+		XferPerKiB:  250 * sim.Nanosecond, // ~4 GB/s channel, 4 KiB in ~1 µs
+		// SLC-mode cells need fewer ECC retries: tighter per-op jitter
+		// and binning spread than the MLC part.
+		ReadJitterSigma: 0.04,
+		DeviceSpread:    0.01,
+	}
+}
+
 // GCConfig controls garbage collection.
 type GCConfig struct {
 	// FreeBlockLow triggers GC when free blocks fall to this count.

@@ -48,6 +48,43 @@ func SpecTableI() Spec {
 	}
 }
 
+// DeviceClass selects the media/controller speed class of a device.
+type DeviceClass int
+
+const (
+	// ClassFlash is the paper's Table I 3D MLC device (~25 µs reads).
+	ClassFlash DeviceClass = iota
+	// ClassULL is a Z-NAND-class ultra-low-latency device (~3 µs reads,
+	// per "Faster than Flash"): SLC-mode media plus a slimmed controller
+	// pipeline. At this speed host software dominates end-to-end latency
+	// and the 2018 paper's IRQ/affinity tunings invert in importance.
+	ClassULL
+)
+
+func (d DeviceClass) String() string {
+	switch d {
+	case ClassULL:
+		return "ull"
+	default:
+		return "flash"
+	}
+}
+
+// SpecZNAND returns the data sheet of the modeled ULL device.
+func SpecZNAND() Spec {
+	return Spec{
+		HostInterface:   "NVMe 1.3 - PCIe 3.0 x4",
+		CapacityGB:      800,
+		RandReadIOPS:    550_000,
+		RandWriteIOPS:   170_000,
+		SeqReadMBps:     3_200,
+		SeqWriteMBps:    2_000,
+		NANDType:        "Z-NAND (SLC-mode)",
+		DesignReadLat:   4 * sim.Microsecond,
+		SwitchedReadLat: 8 * sim.Microsecond,
+	}
+}
+
 // FirmwareKind selects the housekeeping behaviour.
 type FirmwareKind int
 
@@ -197,6 +234,7 @@ type Stats struct {
 // Controller is one SSD: NVMe front-end plus NAND back-end.
 type Controller struct {
 	ID     int
+	Class  DeviceClass
 	Spec   Spec
 	FW     Firmware
 	Flash  *nand.Device
@@ -221,14 +259,21 @@ type Controller struct {
 	writeSlow     float64 // write-token cost multiplier, 1 = nominal
 	stormSlow     float64 // GC-storm window multiplier, 1 = no storm
 	transientRate float64 // per-command probability of StatusTransient
-	badLBAs       map[int64]bool
-	offline       bool
+	// badLBAs is the injected-media-error set. A small slice with linear
+	// scans, not a map: media errors are injected in handfuls, and the
+	// per-slice lookup sits on the mediaStart hot path where map hashing
+	// costs more than scanning a few entries (afalint -perf hotmap).
+	badLBAs []int64
+	offline bool
 	sqStallUntil  sim.Time
 
 	// freeReqs recycles in-flight command carriers (see ioReq). A plain
 	// per-controller slice, not a sync.Pool: the simulation is
 	// single-threaded and reuse order must be deterministic.
 	freeReqs []*ioReq
+
+	// qpNext is the next tenant queue-pair ID (see queue.go).
+	qpNext int
 
 	stats Stats
 }
@@ -241,6 +286,10 @@ type Config struct {
 	Timing nand.Timing
 	FW     Firmware
 	Seed   uint64
+	// Class selects the device speed class; the zero value is the paper's
+	// Table I flash device. ClassULL swaps in the Z-NAND spec, a slimmed
+	// controller pipeline, and (if Timing is zero) ZNANDTiming.
+	Class DeviceClass
 }
 
 // New builds one SSD behind the fabric. The SMART phase is derived from the
@@ -256,12 +305,23 @@ func New(eng *sim.Engine, cfg Config) *Controller {
 	if cfg.Geom.Channels == 0 {
 		cfg.Geom = nand.TableIGeometry()
 	}
+	// The device class picks the spec sheet, the media timing default, and
+	// the controller pipeline costs: the ULL part pairs Z-NAND media with a
+	// slimmed command path (~0.7 µs of controller time vs the flash part's
+	// ~2.5 µs) — on a ~3 µs medium the 2018-class pipeline would dominate.
+	spec, timing := SpecTableI(), nand.MLC3DTiming()
+	cmdProcess, cqePost := 2*sim.Microsecond, 500*sim.Nanosecond
+	if cfg.Class == ClassULL {
+		spec, timing = SpecZNAND(), nand.ZNANDTiming()
+		cmdProcess, cqePost = 500*sim.Nanosecond, 200*sim.Nanosecond
+	}
 	if cfg.Timing.ReadPage == 0 {
-		cfg.Timing = nand.MLC3DTiming()
+		cfg.Timing = timing
 	}
 	c := &Controller{
 		ID:             cfg.ID,
-		Spec:           SpecTableI(),
+		Class:          cfg.Class,
+		Spec:           spec,
 		FW:             cfg.FW,
 		fabric:         cfg.Fabric,
 		eng:            eng,
@@ -270,9 +330,9 @@ func New(eng *sim.Engine, cfg Config) *Controller {
 		readSlow:       1,
 		writeSlow:      1,
 		stormSlow:      1,
-		cmdProcess:     2 * sim.Microsecond,
-		cqePost:        500 * sim.Nanosecond,
-		writeTokenCost: sim.Duration(int64(sim.Second) / int64(SpecTableI().RandWriteIOPS)),
+		cmdProcess:     cmdProcess,
+		cqePost:        cqePost,
+		writeTokenCost: sim.Duration(int64(sim.Second) / int64(spec.RandWriteIOPS)),
 	}
 	c.Flash = nand.NewDevice(eng, cfg.Geom, cfg.Timing, cfg.Seed^uint64(cfg.ID)*0x9e37)
 	c.startHousekeeping()
@@ -376,14 +436,37 @@ func (c *Controller) SetTransientErrorRate(p float64) { c.transientRate = p }
 // MarkBadLBA makes reads of the slice return StatusMediaError until
 // ClearBadLBA (or Format, which discards the medium state entirely).
 func (c *Controller) MarkBadLBA(lba int64) {
-	if c.badLBAs == nil {
-		c.badLBAs = map[int64]bool{}
+	if !c.lbaBad(lba) {
+		c.badLBAs = append(c.badLBAs, lba)
 	}
-	c.badLBAs[lba] = true
 }
 
 // ClearBadLBA removes an injected media error.
-func (c *Controller) ClearBadLBA(lba int64) { delete(c.badLBAs, lba) }
+func (c *Controller) ClearBadLBA(lba int64) { c.healLBA(lba) }
+
+// lbaBad reports whether lba carries an injected media error. Linear scan
+// over the (tiny) injected set; see the badLBAs field comment.
+func (c *Controller) lbaBad(lba int64) bool {
+	for _, b := range c.badLBAs {
+		if b == lba {
+			return true
+		}
+	}
+	return false
+}
+
+// healLBA drops lba from the bad set (remove-by-swap; membership is what
+// matters, the scan order never escapes).
+func (c *Controller) healLBA(lba int64) {
+	for i, b := range c.badLBAs {
+		if b == lba {
+			last := len(c.badLBAs) - 1
+			c.badLBAs[i] = c.badLBAs[last]
+			c.badLBAs = c.badLBAs[:last]
+			return
+		}
+	}
+}
 
 // SetOffline drops (true) or recovers (false) the whole device. While
 // offline, submitted commands are lost without a completion — exactly the
@@ -541,7 +624,7 @@ func (r *ioReq) mediaStart() {
 	bad := false
 	for i := 0; i < slices; i++ {
 		lba := r.cmd.LBA + int64(i)
-		if c.badLBAs[lba] {
+		if c.lbaBad(lba) {
 			bad = true
 		}
 		if d := c.Flash.Read(lba); d > nandDelay {
@@ -585,7 +668,7 @@ func (r *ioReq) bufferedWrite() {
 	// Rewriting an uncorrectable LBA heals it: the program lands on a
 	// fresh page and the mapping moves (how a RAID repair-write fixes a
 	// bad sector).
-	delete(c.badLBAs, r.cmd.LBA)
+	c.healLBA(r.cmd.LBA)
 	admit := now.Add(stall)
 	if c.writeNextFree > admit {
 		admit = c.writeNextFree

@@ -25,17 +25,28 @@ import (
 // (8 GT/s with 128b/130b encoding, minus protocol overhead ≈ 985 MB/s).
 const Gen3BytesPerLanePerSec = 985_000_000
 
+// Gen4BytesPerLanePerSec doubles the per-lane rate (16 GT/s), the
+// signaling generation of the ULL-era fabric.
+const Gen4BytesPerLanePerSec = 2 * Gen3BytesPerLanePerSec
+
 // Link is a PCIe link with a lane count and a next-free time used for
 // serialization/contention accounting.
 type Link struct {
 	Name     string
 	Lanes    int
+	perLane  int64 // bytes/sec per lane; 0 means Gen3
 	nextFree sim.Time
 	busy     sim.Duration // cumulative occupied time, for utilization stats
 }
 
 // Bandwidth reports the link's payload bandwidth in bytes/second.
-func (l *Link) Bandwidth() float64 { return float64(l.Lanes) * Gen3BytesPerLanePerSec }
+func (l *Link) Bandwidth() float64 {
+	perLane := l.perLane
+	if perLane == 0 {
+		perLane = Gen3BytesPerLanePerSec
+	}
+	return float64(l.Lanes) * float64(perLane)
+}
 
 // wireTime is the serialization time of n bytes on this link.
 func (l *Link) wireTime(n int) sim.Duration {
@@ -174,6 +185,10 @@ type Options struct {
 	// LowerSwitches is the number of level-2 switches the SSD population is
 	// spread over (4 on the testbed's one-host share).
 	LowerSwitches int
+	// BytesPerLanePerSec overrides every link's per-lane payload rate;
+	// the default is Gen3BytesPerLanePerSec (the 2016 testbed). The
+	// ULL-era fabric passes Gen4BytesPerLanePerSec.
+	BytesPerLanePerSec int64
 }
 
 // NewFabric builds one host's fabric share.
@@ -190,14 +205,16 @@ func NewFabric(eng *sim.Engine, opt Options) *Fabric {
 	f := &Fabric{
 		eng:        eng,
 		HopLatency: opt.HopLatency,
-		Uplink:     &Link{Name: "uplink", Lanes: 16},
+		Uplink:     &Link{Name: "uplink", Lanes: 16, perLane: opt.BytesPerLanePerSec},
 		lowerOf:    make([]int, opt.NumSSDs),
 	}
 	for i := 0; i < opt.LowerSwitches; i++ {
-		f.InterSwitch = append(f.InterSwitch, &Link{Name: fmt.Sprintf("isl%d", i), Lanes: 16})
+		f.InterSwitch = append(f.InterSwitch, &Link{Name: fmt.Sprintf("isl%d", i), Lanes: 16,
+			perLane: opt.BytesPerLanePerSec})
 	}
 	for i := 0; i < opt.NumSSDs; i++ {
-		f.DevLinks = append(f.DevLinks, &Link{Name: fmt.Sprintf("dev%d", i), Lanes: 4})
+		f.DevLinks = append(f.DevLinks, &Link{Name: fmt.Sprintf("dev%d", i), Lanes: 4,
+			perLane: opt.BytesPerLanePerSec})
 		f.lowerOf[i] = i * opt.LowerSwitches / opt.NumSSDs
 	}
 	return f

@@ -13,7 +13,13 @@
 #   events_per_sec of the first row (headline-64ssd) — the closed-loop
 #   inner loop;
 #   arrivals_per_sec of each tenant-mux-* row — the open-loop
-#   multiplexer's per-arrival path at 10k and 100k tenant populations.
+#   multiplexer's per-arrival path at 10k and 100k tenant populations;
+#   mean_lat_ns of each iopath-ull-* row — the low-latency tier's
+#   headline figure. Unlike the wall-clock rates these are simulated
+#   latencies, machine-independent and deterministic, so the gate is
+#   tight (BENCH_GUARD_LAT_THRESHOLD, default 1%) and fails on a RISE:
+#   a slower simulated I/O path is a model regression, not noise.
+#   Deliberate model changes regenerate the baseline in the same commit.
 #
 # The committed BENCH_engine.json is restored afterwards: regenerating
 # the baseline is a deliberate act (commit the file the benchmark
@@ -25,6 +31,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 threshold="${BENCH_GUARD_THRESHOLD:-20}"
+lat_threshold="${BENCH_GUARD_LAT_THRESHOLD:-1}"
 
 extract_eps() {
   sed -n 's/.*"events_per_sec": *\([0-9.eE+]*\).*/\1/p' | head -1
@@ -59,6 +66,20 @@ compare() {
   }'
 }
 
+# compare_rise <label> <baseline> <fresh>: the latency direction — fail
+# if fresh rose more than lat_threshold percent above baseline.
+compare_rise() {
+  awk -v label="$1" -v base="$2" -v fresh="$3" -v thr="${lat_threshold}" 'BEGIN {
+    rise = (fresh - base) / base * 100
+    printf "bench-guard: %s %.0f -> %.0f (%+.1f%%), threshold +%s%%\n",
+           label, base, fresh, rise, thr
+    if (rise > thr) {
+      printf "bench-guard: %s regressed more than %s%%\n", label, thr
+      exit 1
+    }
+  }'
+}
+
 committed="$(git show HEAD:BENCH_engine.json 2>/dev/null || true)"
 baseline="$(printf '%s' "${committed}" | extract_eps || true)"
 if [ -z "${baseline}" ]; then
@@ -74,7 +95,7 @@ if [ -f BENCH_engine.json ]; then
   had_file=1
 fi
 
-go test -run '^$' -bench 'BenchmarkEngineThroughput|BenchmarkTenantMux' -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'BenchmarkEngineThroughput|BenchmarkTenantMux|BenchmarkIOPathLatency' -benchtime=1x . >/dev/null
 
 fresh_json="$(cat BENCH_engine.json)"
 if [ "${had_file}" = 1 ]; then
@@ -91,16 +112,31 @@ fi
 compare "events/sec" "${baseline}" "${fresh}"
 
 for exp in tenant-mux-10k tenant-mux-100k; do
-  base_aps="$(printf '%s' "${committed}" | extract_row_field "${exp}" '"arrivals_per_sec"' || true)"
+  base_aps="$(printf '%s' "${committed}" | extract_row_field "${exp}" arrivals_per_sec || true)"
   if [ -z "${base_aps}" ]; then
     # The committed baseline predates the tenant-mux rows; skip until a
     # merge commits them.
     continue
   fi
-  fresh_aps="$(printf '%s' "${fresh_json}" | extract_row_field "${exp}" '"arrivals_per_sec"')"
+  fresh_aps="$(printf '%s' "${fresh_json}" | extract_row_field "${exp}" arrivals_per_sec)"
   if [ -z "${fresh_aps}" ]; then
     echo "bench-guard: benchmark produced no arrivals_per_sec for ${exp}" >&2
     exit 1
   fi
   compare "${exp} arrivals/sec" "${base_aps}" "${fresh_aps}"
+done
+
+for exp in iopath-ull-irq iopath-ull-polling iopath-ull-passthrough; do
+  base_lat="$(printf '%s' "${committed}" | extract_row_field "${exp}" mean_lat_ns || true)"
+  if [ -z "${base_lat}" ]; then
+    # The committed baseline predates the iopath rows; skip until a
+    # merge commits them.
+    continue
+  fi
+  fresh_lat="$(printf '%s' "${fresh_json}" | extract_row_field "${exp}" mean_lat_ns)"
+  if [ -z "${fresh_lat}" ]; then
+    echo "bench-guard: benchmark produced no mean_lat_ns for ${exp}" >&2
+    exit 1
+  fi
+  compare_rise "${exp} mean-lat" "${base_lat}" "${fresh_lat}"
 done

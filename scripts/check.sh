@@ -34,6 +34,11 @@
 #                  at a small scale: the capacity probe, both arms of
 #                  the rung grid, and the knee detection all execute
 #                  through the real CLI path.
+#   iopath smoke — the I/O-path grid end to end at a small scale: all
+#                  four completion paths on both device classes,
+#                  including the tenant-owned passthrough queues and
+#                  the ULL fabric/device profile, through the real CLI
+#                  path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,3 +50,4 @@ go run ./cmd/afalint -state -baseline lint_state.baseline ./...
 go test -race -shuffle=on ./...
 go test -race -count=1 -run 'TestParallelDeterminism|TestMap' ./internal/core/ ./internal/runner/
 go run ./cmd/afareport -ablate load -ssds 4 -runtime 40ms >/dev/null
+go run ./cmd/afareport -ablate iopath -ssds 4 -runtime 40ms >/dev/null
